@@ -1,0 +1,28 @@
+# Developer entry points for the TwigM reproduction.
+
+PYTHON ?= python3
+PROFILE ?= small
+
+.PHONY: install test bench figures examples clean
+
+install:
+	$(PYTHON) -m pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+figures:
+	$(PYTHON) -m repro.bench --all --profile $(PROFILE)
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script =="; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+clean:
+	rm -rf .bench_cache .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

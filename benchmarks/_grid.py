@@ -1,0 +1,41 @@
+"""Shared machinery for the figure 7/8 engine × query benchmark grids."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.queries import QUERY_SETS, get_query
+from repro.bench.systems import make_engines
+
+#: Engine table-name -> instance, rebuilt per call for instrumentation.
+ENGINES = {engine.name: engine for engine in make_engines()}
+
+ENGINE_NAMES = list(ENGINES)
+
+
+def grid_params(dataset: str, qids) -> list:
+    """(qid, engine_name) pairs as pytest params, ids like 'Q5-TwigM'."""
+    params = []
+    for qid in qids:
+        for name in ENGINE_NAMES:
+            params.append(pytest.param(qid, name, id=f"{qid}-{name}"))
+    return params
+
+
+def run_cell(dataset: str, qid: str, engine_name: str, corpus, benchmark):
+    """Benchmark one grid cell; returns the result ids (or skips)."""
+    query = get_query(dataset, qid)
+    engine = ENGINES[engine_name]
+    if not engine.supports(query.xpath):
+        pytest.skip(f"{engine_name} does not support {query.xpath!r} "
+                    "(a missing bar in the paper's plot)")
+    results = benchmark(lambda: engine.run(query.xpath, corpus.events()))
+    benchmark.extra_info["query"] = query.xpath
+    benchmark.extra_info["results"] = len(results)
+    return results
+
+
+def oracle_count(dataset: str, qid: str, corpus) -> int:
+    """Reference result count from the navigational oracle."""
+    query = get_query(dataset, qid)
+    return len(ENGINES["XMLTaskForce*"].run(query.xpath, corpus.events()))

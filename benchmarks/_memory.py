@@ -1,0 +1,45 @@
+"""Shared machinery for the figure 8/10 memory benchmark grids.
+
+Memory cells measure the peak traced heap of one evaluation run
+(:func:`repro.bench.harness.measure_memory`, the tracemalloc substitute
+for the paper's process-RSS readings) and report it through
+``benchmark.extra_info`` so it lands in the benchmark JSON alongside the
+timing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._grid import ENGINES
+from repro.bench.harness import measure_memory
+from repro.bench.queries import get_query
+
+
+def run_memory_cell(dataset: str, qid: str, engine_name: str, corpus, benchmark):
+    """Benchmark one memory cell; returns peak bytes."""
+    query = get_query(dataset, qid)
+    engine = ENGINES[engine_name]
+    if not engine.supports(query.xpath):
+        pytest.skip(f"{engine_name} does not support {query.xpath!r}")
+    peaks: list[int] = []
+
+    def once():
+        usage = measure_memory(lambda: engine.run(query.xpath, corpus.events()))
+        peaks.append(usage.peak_bytes)
+        return usage
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    peak = peaks[-1]
+    benchmark.extra_info["query"] = query.xpath
+    benchmark.extra_info["peak_bytes"] = peak
+    benchmark.extra_info["peak_mb"] = round(peak / (1024 * 1024), 3)
+    return peak
+
+
+def engine_peak(dataset: str, qid: str, engine_name: str, corpus) -> int:
+    """Peak bytes for one engine/query/corpus, measured directly."""
+    query = get_query(dataset, qid)
+    engine = ENGINES[engine_name]
+    usage = measure_memory(lambda: engine.run(query.xpath, corpus.events()))
+    return usage.peak_bytes

@@ -1,0 +1,55 @@
+"""Shared fixtures for the benchmark suite (pytest-benchmark).
+
+Each ``test_figNN_*.py`` file regenerates one table/figure of the
+paper's section 5 at a profile small enough for CI; the full-size runs
+use the CLI driver (``python -m repro.bench --figure 7a --profile
+large``).  Shape assertions — who wins, what fails where, what stays
+flat — run on the measured numbers after each benchmark.
+
+Profile selection: ``$REPRO_BENCH_PROFILE`` (default ``tiny`` here, so
+the whole suite finishes in minutes on a laptop).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.corpora import get_corpus, scaled_book_corpus
+
+#: Corpus profile for the benchmark suite.
+PROFILE = os.environ.get("REPRO_BENCH_PROFILE", "tiny")
+
+#: Representative queries per dataset: one per paper query class.
+REPRESENTATIVE_QIDS = {
+    "book": ("Q1", "Q5", "Q9"),
+    "benchmark": ("XM5", "XM2", "XM7"),
+    "protein": ("Q1", "Q5", "Q9"),
+}
+
+
+@pytest.fixture(scope="session")
+def profile() -> str:
+    return PROFILE
+
+
+@pytest.fixture(scope="session")
+def book_corpus():
+    return get_corpus("book", PROFILE)
+
+
+@pytest.fixture(scope="session")
+def benchmark_corpus():
+    return get_corpus("benchmark", PROFILE)
+
+
+@pytest.fixture(scope="session")
+def protein_corpus():
+    return get_corpus("protein", PROFILE)
+
+
+@pytest.fixture(scope="session")
+def scaled_corpora():
+    """Figures 9/10: the Book corpus duplicated 1x, 2x and 4x."""
+    return {factor: scaled_book_corpus(factor, PROFILE) for factor in (1, 2, 4)}

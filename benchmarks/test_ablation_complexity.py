@@ -1,0 +1,84 @@
+"""Ablation — fitted scaling exponents on the figure-1 chain family.
+
+Theorem 4.4 says TwigM is polynomial (linear on this family); the
+explicit-match and enumerative families are quadratic.  Instead of
+eyeballing plots, fit ``cost ≈ a·n^k`` in log-log space and assert the
+exponents:
+
+* TwigM operations / peak state: k ≈ 1 (assert k < 1.3);
+* XSQ* peak records and Galax* enumerated matches: k ≈ 2
+  (assert k > 1.7).
+
+Operation counts are deterministic, so these assertions never flake.
+"""
+
+import pytest
+
+from repro.bench.complexity import chain_scaling, fit_exponent
+
+SIZES = (40, 80, 160)
+
+
+@pytest.fixture(scope="module")
+def series():
+    measured = chain_scaling(sizes=SIZES, repeats=1)
+    return {entry.label: entry for entry in measured}
+
+
+@pytest.mark.benchmark(group="ablation-complexity")
+def test_fit_exponents(benchmark, series):
+    def collect():
+        return {label: entry.exponent for label, entry in series.items()}
+
+    exponents = benchmark.pedantic(collect, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {label: round(value, 2) for label, value in exponents.items()}
+    )
+    assert exponents["TwigM operations"] < 1.3, exponents
+    assert exponents["TwigM peak entries"] < 1.3, exponents
+    assert exponents["XSQ* peak records"] > 1.7, exponents
+    assert exponents["Galax* enumerated"] > 1.7, exponents
+
+
+@pytest.mark.benchmark(group="ablation-complexity")
+def test_twigm_time_subquadratic(benchmark, series):
+    entry = series["TwigM time (s)"]
+
+    def exponent():
+        return entry.exponent
+
+    k = benchmark.pedantic(exponent, rounds=1, iterations=1)
+    benchmark.extra_info["k"] = round(k, 2)
+    # Wall-clock is noisier than op counts; linear-ish, never quadratic.
+    assert k < 1.6, f"TwigM time exponent {k:.2f}"
+
+
+@pytest.mark.benchmark(group="ablation-complexity")
+def test_explicit_time_superlinear(benchmark, series):
+    entry = series["XSQ* time (s)"]
+
+    def exponent():
+        return entry.exponent
+
+    k = benchmark.pedantic(exponent, rounds=1, iterations=1)
+    benchmark.extra_info["k"] = round(k, 2)
+    assert k > 1.5, f"explicit-match time exponent {k:.2f}"
+
+
+class TestFitExponentUnit:
+    """The fitter itself (plain tests; run without --benchmark-only)."""
+
+    def test_linear(self):
+        assert abs(fit_exponent([10, 20, 40], [10, 20, 40]) - 1.0) < 1e-9
+
+    def test_quadratic(self):
+        sizes = [10, 20, 40]
+        assert abs(fit_exponent(sizes, [s * s for s in sizes]) - 2.0) < 1e-9
+
+    def test_constant(self):
+        assert abs(fit_exponent([10, 20, 40], [7, 7, 7])) < 1e-9
+
+    def test_scale_invariant(self):
+        sizes = [8, 16, 32, 64]
+        k = fit_exponent(sizes, [3.5 * s ** 1.5 for s in sizes])
+        assert abs(k - 1.5) < 1e-9

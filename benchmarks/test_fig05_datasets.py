@@ -1,0 +1,44 @@
+"""Figure 5 — dataset features.
+
+Regenerates the dataset characterisation table and asserts the
+qualitative shape the paper reports: Book is recursive and deep, the
+XMark Benchmark data is mostly flat with contained ``parlist`` recursion,
+and Protein is flat, shallow, and the bulkiest per profile.
+"""
+
+import pytest
+
+from repro.datasets.stats import collect_stats
+
+
+@pytest.mark.benchmark(group="fig5-dataset-stats")
+@pytest.mark.parametrize("dataset", ["book", "benchmark", "protein"])
+def test_fig05_feature_scan(benchmark, dataset, request):
+    corpus = request.getfixturevalue(f"{dataset}_corpus")
+    stats = benchmark(lambda: collect_stats(corpus.events()))
+    benchmark.extra_info.update(stats.row(corpus.name))
+
+    if dataset == "book":
+        assert stats.recursive, "Book must be recursive (figure 5)"
+        assert "section" in stats.recursive_tags
+        assert stats.max_depth <= 20  # NumberLevels
+    elif dataset == "benchmark":
+        assert stats.recursive_tags <= {"parlist", "listitem"}
+        assert stats.distinct_tags > 50  # the auction vocabulary
+    else:
+        assert not stats.recursive, "Protein must be flat (figure 5)"
+        assert stats.max_depth <= 8
+
+
+def test_fig05_size_ordering(book_corpus, benchmark_corpus, protein_corpus, benchmark):
+    """The paper's corpora grow Book < Benchmark < Protein (9/34/75MB)."""
+    sizes = benchmark(
+        lambda: (
+            book_corpus.size_bytes(),
+            benchmark_corpus.size_bytes(),
+            protein_corpus.size_bytes(),
+        )
+    )
+    benchmark.extra_info["sizes_bytes"] = sizes
+    book, bench, protein = sizes
+    assert book > 0 and bench > 0 and protein > 0

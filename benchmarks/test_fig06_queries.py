@@ -1,0 +1,43 @@
+"""Figure 6 — the query sets.
+
+The figure itself is a table; the benchmarkable work behind it is the
+query front end (lex + parse + compile + machine construction), measured
+here over all thirty workload queries.  Shape assertions re-validate the
+class structure the paper states for Q1-Q10.
+"""
+
+import pytest
+
+from repro.bench.queries import QUERY_SETS
+from repro.core.machine import build_machine
+from repro.xpath.querytree import compile_query
+
+ALL_QUERIES = [spec for specs in QUERY_SETS.values() for spec in specs]
+
+
+@pytest.mark.benchmark(group="fig6-query-compilation")
+def test_fig06_compile_all_queries(benchmark):
+    def compile_all():
+        return [build_machine(compile_query(spec.xpath)) for spec in ALL_QUERIES]
+
+    machines = benchmark(compile_all)
+    assert len(machines) == 30
+    benchmark.extra_info["queries"] = len(machines)
+
+
+@pytest.mark.benchmark(group="fig6-query-compilation")
+def test_fig06_class_structure(benchmark):
+    def classify():
+        return {
+            f"{family}/{spec.qid}": compile_query(spec.xpath).fragment()
+            for family, specs in QUERY_SETS.items()
+            for spec in specs
+        }
+
+    fragments = benchmark(classify)
+    # Q1-Q4 of Book and Protein are pure path queries; Q9/Q10 are full.
+    for family in ("book", "protein"):
+        for qid in ("Q1", "Q2", "Q3", "Q4"):
+            assert fragments[f"{family}/{qid}"] == "XP{/,//,*}"
+        for qid in ("Q9", "Q10"):
+            assert fragments[f"{family}/{qid}"] == "XP{/,//,*,[]}"

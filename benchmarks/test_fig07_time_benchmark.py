@@ -1,0 +1,28 @@
+"""Figure 7(b) — query execution time on the Benchmark (XMark) dataset.
+
+Representative XMark queries: XM5 (path), XM2 (simple predicates),
+XM7 (nested predicate paths — TwigM / DOM engines only).
+"""
+
+import pytest
+
+from benchmarks._grid import ENGINES, grid_params, oracle_count, run_cell
+from repro.bench.queries import XMARK_QUERIES
+
+QIDS = ("XM5", "XM2", "XM7")
+
+
+@pytest.mark.benchmark(group="fig7b-time-benchmark")
+@pytest.mark.parametrize("qid, engine_name", grid_params("benchmark", QIDS))
+def test_fig07b_cell(benchmark, qid, engine_name, benchmark_corpus):
+    results = run_cell("benchmark", qid, engine_name, benchmark_corpus, benchmark)
+    assert len(results) == oracle_count("benchmark", qid, benchmark_corpus)
+
+
+def test_fig07b_twigm_runs_all_xmark_queries():
+    """Section 5.2: only TwigM evaluates every benchmark query
+    (streaming); the DOM engines also can, but at DOM cost."""
+    twigm = ENGINES["TwigM"]
+    assert all(twigm.supports(spec.xpath) for spec in XMARK_QUERIES)
+    lazy = ENGINES["XMLTK*"]
+    assert not all(lazy.supports(spec.xpath) for spec in XMARK_QUERIES)

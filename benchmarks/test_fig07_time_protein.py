@@ -1,0 +1,20 @@
+"""Figure 7(c) — query execution time on the (flat) Protein dataset.
+
+On non-recursive data every streaming engine stays in its comfort zone;
+the paper reports stable, close times for TwigM and XMLTK with XSQ and
+the DOM engines trailing.  We assert correctness and the support
+pattern; relative timing is recorded in the benchmark report.
+"""
+
+import pytest
+
+from benchmarks._grid import grid_params, oracle_count, run_cell
+
+QIDS = ("Q1", "Q5", "Q9")
+
+
+@pytest.mark.benchmark(group="fig7c-time-protein")
+@pytest.mark.parametrize("qid, engine_name", grid_params("protein", QIDS))
+def test_fig07c_cell(benchmark, qid, engine_name, protein_corpus):
+    results = run_cell("protein", qid, engine_name, protein_corpus, benchmark)
+    assert len(results) == oracle_count("protein", qid, protein_corpus)

@@ -1,0 +1,28 @@
+"""Figure 8(b) — memory usage on the Benchmark (XMark) dataset."""
+
+import pytest
+
+from benchmarks._grid import grid_params
+from benchmarks._memory import engine_peak, run_memory_cell
+
+QIDS = ("XM5", "XM2", "XM7")
+
+
+@pytest.mark.benchmark(group="fig8b-memory-benchmark")
+@pytest.mark.parametrize("qid, engine_name", grid_params("benchmark", QIDS))
+def test_fig08b_cell(benchmark, qid, engine_name, benchmark_corpus):
+    peak = run_memory_cell("benchmark", qid, engine_name, benchmark_corpus, benchmark)
+    assert peak > 0
+
+
+@pytest.mark.benchmark(group="fig8b-memory-benchmark")
+def test_fig08b_streaming_beats_dom(benchmark, benchmark_corpus):
+    def compare():
+        streaming = engine_peak("benchmark", "XM5", "TwigM", benchmark_corpus)
+        dom = engine_peak("benchmark", "XM5", "Galax*", benchmark_corpus)
+        return streaming, dom
+
+    streaming, dom = benchmark.pedantic(compare, rounds=1, iterations=1)
+    benchmark.extra_info["twigm_peak"] = streaming
+    benchmark.extra_info["dom_peak"] = dom
+    assert dom > 2 * streaming

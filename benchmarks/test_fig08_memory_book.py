@@ -1,0 +1,37 @@
+"""Figure 8(a) — memory usage on the Book dataset.
+
+Shape assertions (paper, section 5.3): the streaming engines (TwigM,
+XMLTK*, XSQ*) use substantially less memory than the DOM engines
+(Galax*, XMLTaskForce*), whose working set tracks the document size.
+"""
+
+import pytest
+
+from benchmarks._grid import grid_params
+from benchmarks._memory import engine_peak, run_memory_cell
+
+QIDS = ("Q1", "Q5", "Q9")
+
+
+@pytest.mark.benchmark(group="fig8a-memory-book")
+@pytest.mark.parametrize("qid, engine_name", grid_params("book", QIDS))
+def test_fig08a_cell(benchmark, qid, engine_name, book_corpus):
+    peak = run_memory_cell("book", qid, engine_name, book_corpus, benchmark)
+    assert peak > 0
+
+
+@pytest.mark.benchmark(group="fig8a-memory-book")
+def test_fig08a_streaming_beats_dom(benchmark, book_corpus):
+    """TwigM's peak is a fraction of the DOM engines' on the same cell."""
+
+    def compare():
+        streaming = engine_peak("book", "Q5", "TwigM", book_corpus)
+        dom = engine_peak("book", "Q5", "XMLTaskForce*", book_corpus)
+        return streaming, dom
+
+    streaming, dom = benchmark.pedantic(compare, rounds=1, iterations=1)
+    benchmark.extra_info["twigm_peak"] = streaming
+    benchmark.extra_info["dom_peak"] = dom
+    assert dom > 2 * streaming, (
+        f"DOM engine should dwarf streaming memory: {dom} vs {streaming}"
+    )

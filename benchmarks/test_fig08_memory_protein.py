@@ -1,0 +1,45 @@
+"""Figure 8(c) — memory usage on the (largest) Protein dataset.
+
+The paper's sharpest memory datapoint: XMLTaskForce runs out of memory
+on the 75MB protein corpus while the streaming engines idle at ~1MB.  At
+benchmark profiles nothing actually OOMs, so the shape assertion is the
+ratio: DOM peaks scale with the corpus, streaming peaks do not.
+"""
+
+import pytest
+
+from benchmarks._grid import grid_params
+from benchmarks._memory import engine_peak, run_memory_cell
+from repro.stream.tokenizer import DEFAULT_CHUNK_SIZE
+
+QIDS = ("Q1", "Q5", "Q9")
+
+
+@pytest.mark.benchmark(group="fig8c-memory-protein")
+@pytest.mark.parametrize("qid, engine_name", grid_params("protein", QIDS))
+def test_fig08c_cell(benchmark, qid, engine_name, protein_corpus):
+    peak = run_memory_cell("protein", qid, engine_name, protein_corpus, benchmark)
+    assert peak > 0
+
+
+@pytest.mark.benchmark(group="fig8c-memory-protein")
+def test_fig08c_streaming_memory_below_corpus_size(benchmark, protein_corpus):
+    """TwigM's working set is far below the document size; the DOM
+    engines' exceeds it (they hold the whole tree)."""
+
+    def compare():
+        streaming = engine_peak("protein", "Q5", "TwigM", protein_corpus)
+        dom = engine_peak("protein", "Q5", "XMLTaskForce*", protein_corpus)
+        return streaming, dom
+
+    streaming, dom = benchmark.pedantic(compare, rounds=1, iterations=1)
+    size = protein_corpus.size_bytes()
+    benchmark.extra_info.update(
+        twigm_peak=streaming, dom_peak=dom, corpus_bytes=size
+    )
+    assert dom > 2 * streaming, f"DOM {dom} should dwarf streaming {streaming}"
+    if size > 4 * DEFAULT_CHUNK_SIZE:
+        # The absolute claim only makes sense once the file dwarfs the
+        # constant overheads (read-chunk buffer, machine, sink).
+        assert streaming < size, "streaming peak must undercut the file size"
+    assert dom > size, "a DOM engine cannot undercut the file it loads"

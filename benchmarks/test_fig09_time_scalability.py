@@ -1,0 +1,55 @@
+"""Figure 9 — execution time as the Book data size increases.
+
+The paper duplicates the Book file 2-6x and shows TwigM's time growing
+slowly (linearly) for a path query (Q1), a simple-predicate query (Q5)
+and a full twig query (Q9).  We benchmark factors 1/2/4 and assert
+near-linear growth: time(x4) stays well under the quadratic envelope.
+"""
+
+import time
+
+import pytest
+
+from benchmarks._grid import ENGINES
+from repro.bench.queries import get_query
+
+FACTORS = (1, 2, 4)
+
+
+@pytest.mark.benchmark(group="fig9-time-scalability")
+@pytest.mark.parametrize("qid", ["Q1", "Q5", "Q9"])
+@pytest.mark.parametrize("factor", FACTORS)
+def test_fig09_twigm_cell(benchmark, qid, factor, scaled_corpora):
+    query = get_query("book", qid)
+    corpus = scaled_corpora[factor]
+    engine = ENGINES["TwigM"]
+    results = benchmark(lambda: engine.run(query.xpath, corpus.events()))
+    benchmark.extra_info.update(
+        factor=factor, corpus_bytes=corpus.size_bytes(), results=len(results)
+    )
+    assert results or qid == "Q8"
+
+
+@pytest.mark.benchmark(group="fig9-time-scalability")
+@pytest.mark.parametrize("qid", ["Q1", "Q5", "Q9"])
+def test_fig09_twigm_growth_is_subquadratic(benchmark, qid, scaled_corpora):
+    """time(x4)/time(x1) must look linear (≈4), not quadratic (≈16)."""
+    query = get_query("book", qid)
+    engine = ENGINES["TwigM"]
+
+    def timed(factor: int) -> float:
+        corpus = scaled_corpora[factor]
+        best = float("inf")
+        for _ in range(3):
+            started = time.perf_counter()
+            engine.run(query.xpath, corpus.events())
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    def compare():
+        return timed(1), timed(4)
+
+    base, scaled = benchmark.pedantic(compare, rounds=1, iterations=1)
+    ratio = scaled / base
+    benchmark.extra_info.update(base_s=base, x4_s=scaled, ratio=round(ratio, 2))
+    assert ratio < 10.0, f"4x data took {ratio:.1f}x time — superlinear blow-up"

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Mining a large flat corpus: the Protein Sequence Database scenario.
+
+The paper's largest dataset (75MB in the original) is the Georgetown
+Protein Sequence Database: millions of small, shallow records.  This is
+the regime where a streaming processor must (a) keep constant memory no
+matter the file size and (b) extract record fragments without ever
+holding the database in RAM.
+
+The example generates a protein corpus with the library's own generator,
+writes it to disk, and then answers three curation tasks over the file —
+streaming, via one pass each:
+
+1. count entries per organism source (value predicates),
+2. pull the XML fragments of entries with multi-author references,
+3. show that memory stays flat while the file grows.
+
+Run::
+
+    python examples/protein_annotations.py
+"""
+
+import tempfile
+import tracemalloc
+from pathlib import Path
+
+import repro
+from repro.core.fragments import FragmentCapture
+from repro.datasets.protein import protein_events
+from repro.datasets.stats import collect_stats
+from repro.stream.tokenizer import parse_file
+from repro.stream.writer import write_events
+
+
+def build_corpus(directory: Path, n_entries: int) -> Path:
+    path = directory / f"proteins-{n_entries}.xml"
+    with open(path, "w", encoding="utf-8") as handle:
+        write_events(protein_events(n_entries), handle)
+    return path
+
+
+def describe(path: Path) -> None:
+    stats = collect_stats(parse_file(path))
+    print(f"  corpus: {path.name}  {stats.size_mb:.2f}MB, "
+          f"{stats.elements} elements, depth {stats.max_depth}, "
+          f"recursive={stats.recursive}")
+
+
+def count_by_organism(path: Path) -> None:
+    print("\n== entries per organism (streaming value predicates) ==")
+    for organism in ("Homo sapiens", "Mus musculus", "Escherichia coli"):
+        query = f"//ProteinEntry[organism/source = '{organism}']"
+        count = len(repro.evaluate(query, str(path)))
+        print(f"  {organism:28s} {count:4d} entries")
+
+
+def fragments_of_collaborations(path: Path) -> None:
+    print("\n== reference fragments with a volume attribute ==")
+    capture = FragmentCapture("//reference[refinfo/@refid]//citation")
+    shown = 0
+    for _node_id, fragment in capture.evaluate(str(path)):
+        if shown < 3:
+            print("  ", fragment[:76] + ("..." if len(fragment) > 76 else ""))
+        shown += 1
+    print(f"  ({shown} fragments total)")
+
+
+def memory_stays_flat(directory: Path) -> None:
+    print("\n== peak engine memory vs corpus size (the streaming claim) ==")
+    query = "//ProteinEntry[classification]//refinfo[year]/citation"
+    for n_entries in (200, 400, 800):
+        path = build_corpus(directory, n_entries)
+        tracemalloc.start()
+        results = repro.evaluate(query, str(path))
+        _current, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        size_mb = path.stat().st_size / (1024 * 1024)
+        print(f"  {size_mb:5.2f}MB corpus -> peak {peak / 1024:7.0f}KB, "
+              f"{len(results)} matches")
+    print("  (corpus grows 4x; the engine's working set barely moves)")
+
+
+if __name__ == "__main__":
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = Path(tmp)
+        corpus = build_corpus(directory, 400)
+        describe(corpus)
+        count_by_organism(corpus)
+        fragments_of_collaborations(corpus)
+        memory_stays_flat(directory)

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Stock-feed monitoring: standing queries over an unbounded XML stream.
+
+The paper motivates streaming XPath with stock market data: the feed is
+effectively infinite, arrives in fragments, and alerts must fire the
+moment they are decidable — not when the document ends.
+
+This example simulates a ticker feed that streams one ``<tick>`` record
+at a time inside a never-closing ``<feed>`` root, and registers several
+standing queries through :class:`repro.core.multiquery.MultiQueryStream`:
+every query is evaluated in the same single pass, and matches surface via
+callbacks while the feed is still open.
+
+Run::
+
+    python examples/stock_feed_monitor.py
+"""
+
+import random
+
+from repro.core.multiquery import MultiQueryStream
+
+STANDING_QUERIES = {
+    "big-trade":    "//tick[volume > 9000]/symbol",
+    "acme-quotes":  "//tick[symbol = 'ACME']/price",
+    "flagged":      "//tick[@flagged]/symbol",
+    "cheap-tech":   "//tick[sector = 'tech'][price < 20]/symbol",
+}
+
+SYMBOLS = ("ACME", "GLOBEX", "INITECH", "HOOLI", "PIEDPIPER")
+SECTORS = ("tech", "energy", "retail")
+
+
+def tick_xml(rng: random.Random, sequence: int) -> str:
+    """One ticker record, occasionally flagged by the exchange."""
+    symbol = rng.choice(SYMBOLS)
+    sector = rng.choice(SECTORS)
+    price = round(rng.uniform(5, 120), 2)
+    volume = rng.randint(100, 12_000)
+    flagged = " flagged='review'" if rng.random() < 0.08 else ""
+    return (
+        f"<tick seq='{sequence}'{flagged}>"
+        f"<symbol>{symbol}</symbol>"
+        f"<sector>{sector}</sector>"
+        f"<price>{price}</price>"
+        f"<volume>{volume}</volume>"
+        f"</tick>"
+    )
+
+
+def main(n_ticks: int = 200, seed: int = 7) -> None:
+    rng = random.Random(seed)
+    hits: dict[str, int] = {name: 0 for name in STANDING_QUERIES}
+
+    def on_match(name: str, node_id: int) -> None:
+        hits[name] += 1
+        if hits[name] <= 3:  # show the first few alerts per query
+            print(f"  ALERT {name:12s} -> node {node_id}")
+
+    feed = MultiQueryStream(STANDING_QUERIES, on_match=on_match)
+    print("engines chosen per standing query:")
+    for name, engine in feed.engine_names().items():
+        print(f"  {name:12s} {STANDING_QUERIES[name]:40s} [{engine}]")
+
+    print(f"\nstreaming {n_ticks} ticks (root element never closes)...")
+    feed.feed_text("<feed>")
+    for sequence in range(1, n_ticks + 1):
+        feed.feed_text(tick_xml(rng, sequence))
+        # A real deployment would block on the socket here; matches for
+        # each tick have already fired by the time the next one arrives.
+    feed.feed_text("</feed>")
+    feed.close()
+
+    print("\ntotals per standing query:")
+    for name, count in hits.items():
+        print(f"  {name:12s} {count:4d} alerts")
+    assert sum(hits.values()) > 0, "expected at least one alert"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""TwigM — an efficient XPath query processor for XML streams.
+
+A complete, pure-Python reproduction of:
+
+    Yi Chen, Susan B. Davidson, Yifeng Zheng.
+    "An Efficient XPath Query Processor for XML Streams." ICDE 2006.
+
+Quickstart::
+
+    import repro
+
+    ids = repro.evaluate("//book[price < 30]//title", "catalog.xml")
+
+    stream = repro.XPathStream("//alert[severity = 'high']", on_match=print)
+    for chunk in chunks:
+        stream.feed_text(chunk)
+    stream.close()
+
+Packages:
+
+* :mod:`repro.core` — the TwigM / PathM / BranchM machines.
+* :mod:`repro.xpath` — XP{/,//,*,[]} parsing and query trees.
+* :mod:`repro.stream` — modified-SAX events, parsers, DOM, serialization.
+* :mod:`repro.baselines` — the comparator engines of the evaluation.
+* :mod:`repro.datasets` — Book / XMark / Protein corpus generators.
+* :mod:`repro.bench` — the experiment harness (figures 5-10).
+"""
+
+from repro.core.processor import XPathStream, evaluate
+from repro.core.twigm import TwigM
+from repro.errors import (
+    ReproError,
+    StreamStateError,
+    UnsupportedQueryError,
+    XmlSyntaxError,
+    XPathSyntaxError,
+)
+from repro.xpath.querytree import QueryTree, compile_query
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "QueryTree",
+    "ReproError",
+    "StreamStateError",
+    "TwigM",
+    "UnsupportedQueryError",
+    "XPathStream",
+    "XPathSyntaxError",
+    "XmlSyntaxError",
+    "compile_query",
+    "evaluate",
+    "__version__",
+]

@@ -1,0 +1,36 @@
+"""Comparator engines for the paper's evaluation (section 5).
+
+Algorithmic stand-ins for the closed-source systems TwigM was compared
+against — each preserves the published algorithm family and hence the
+cost profile the experiments depend on:
+
+* :class:`LazyDfaEngine` — XMLTK [3] (lazy DFA, XP{/,//,*} only).
+* :class:`ExplicitMatchEngine` — XSQ [25] (explicit pattern matches,
+  simple predicates).
+* :class:`EnumerativeDomEngine` — Galax [28] (DOM + naive enumeration).
+* :class:`NavigationalDomEngine` — XMLTaskForce [16] (DOM + polynomial
+  node-set evaluation); also the library's differential-testing oracle.
+"""
+
+from repro.baselines.common import Engine, as_query_tree
+from repro.baselines.enumerative import (
+    EnumerativeDomEngine,
+    count_pattern_matches,
+    evaluate_enumerative,
+)
+from repro.baselines.explicit import ExplicitMatchEngine
+from repro.baselines.lazydfa import LazyDfa, LazyDfaEngine
+from repro.baselines.navigational import NavigationalDomEngine, evaluate_on_document
+
+__all__ = [
+    "Engine",
+    "EnumerativeDomEngine",
+    "ExplicitMatchEngine",
+    "LazyDfa",
+    "LazyDfaEngine",
+    "NavigationalDomEngine",
+    "as_query_tree",
+    "count_pattern_matches",
+    "evaluate_enumerative",
+    "evaluate_on_document",
+]

@@ -1,0 +1,48 @@
+"""Shared engine interface for comparators.
+
+Every engine of section 5 — TwigM itself and the four comparator
+stand-ins — is wrapped behind :class:`Engine` so the benchmark harness
+can treat them uniformly:
+
+* :meth:`Engine.supports` mirrors each original system's query fragment
+  (the paper's plots have missing bars where a system "doesn't support
+  this query"); the harness uses it to skip exactly those cells.
+* :meth:`Engine.run` evaluates a query over an event stream and returns
+  the distinct solution ids.
+* :attr:`Engine.streaming` separates the constant-memory engines from the
+  load-everything engines for the memory figures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.stream.events import Event
+from repro.xpath.querytree import QueryTree, compile_query
+
+
+def as_query_tree(query: "str | QueryTree") -> QueryTree:
+    """Accept either a query string or an already-compiled tree."""
+    if isinstance(query, str):
+        return compile_query(query)
+    return query
+
+
+class Engine:
+    """Base class for benchmarkable engines."""
+
+    #: Short name used in benchmark tables (e.g. "TwigM", "XMLTK*").
+    name: str = "engine"
+    #: True for single-pass, bounded-memory engines.
+    streaming: bool = True
+
+    def supports(self, query: "str | QueryTree") -> bool:
+        """Whether this engine's fragment includes ``query``."""
+        raise NotImplementedError
+
+    def run(self, query: "str | QueryTree", events: Iterable[Event]) -> list[int]:
+        """Evaluate ``query`` over ``events``; return distinct solution ids."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"

@@ -1,0 +1,168 @@
+"""Naive match-enumerating main-memory evaluation — the Galax stand-in.
+
+Galax [28] is a full-fledged XQuery engine over a DOM.  What the paper's
+experiments exercise — and what this stand-in reproduces — is the *cost
+profile* its generality incurs on XP{/,//,*,[]} inputs:
+
+* the **whole document is loaded** first (memory ∝ |D|);
+* evaluation **enumerates pattern matches**: predicates are re-evaluated
+  by recursive descent at every candidate binding with no memoization
+  across bindings, so a node participating in many pattern matches is
+  visited once *per match* — the degenerate behaviour on the recursive
+  Book corpus that figure 7(a) shows (and that TwigM's compact encoding
+  removes).
+
+The algorithm is the textbook one: walk the trunk left-to-right,
+maintaining the *multiset* of partial bindings (one entry per distinct
+embedding prefix), filtering each binding by recursively checking its
+predicate subtrees.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.baselines.common import Engine, as_query_tree
+from repro.stream.document import Document, Element, build_document
+from repro.stream.events import Event
+from repro.xpath.querytree import (
+    CHILD_EDGE,
+    AttrRef,
+    ChildRef,
+    QueryNode,
+    QueryTree,
+    evaluate_condition,
+)
+
+
+def _local_match(element: Element, qnode: QueryNode) -> bool:
+    if not qnode.matches_tag(element.tag):
+        return False
+    if qnode.attribute_tests and not all(
+        test.evaluate(element.attributes) for test in qnode.attribute_tests
+    ):
+        return False
+    if qnode.value_tests:
+        value = element.string_value()
+        if not all(test.evaluate(value) for test in qnode.value_tests):
+            return False
+    return True
+
+
+def _axis_candidates(element: Element, qnode: QueryNode) -> Iterable[Element]:
+    """Elements reachable from ``element`` along ``qnode``'s parent edge."""
+    if qnode.axis == CHILD_EDGE:
+        return element.children
+    return element.iter_descendants()
+
+
+def _child_exists(element: Element, child: QueryNode) -> bool:
+    """∃ a satisfying embedding of the ``child`` subtree from ``element``."""
+    return any(
+        _branch_satisfied(candidate, child)
+        for candidate in _axis_candidates(element, child)
+    )
+
+
+def _predicates_hold(element: Element, qnode: QueryNode, skip_trunk: bool) -> bool:
+    """Branch predicates of ``qnode`` at ``element`` (conjunctive or the
+    general boolean condition)."""
+    if qnode.condition is None:
+        return all(
+            _child_exists(element, child)
+            for child in qnode.children
+            if not (skip_trunk and child.on_trunk)
+        )
+    if not skip_trunk:
+        for child in qnode.children:
+            if child.on_trunk and not _child_exists(element, child):
+                return False
+
+    def leaf(ref) -> bool:
+        if isinstance(ref, ChildRef):
+            return _child_exists(element, ref.node)
+        if isinstance(ref, AttrRef):
+            return ref.test.evaluate(element.attributes)
+        return ref.test.evaluate(element.string_value())
+
+    return evaluate_condition(qnode.condition, leaf)
+
+
+def _branch_satisfied(element: Element, qnode: QueryNode) -> bool:
+    """Existence of an embedding of ``qnode``'s subtree at ``element``.
+
+    Deliberately *not* memoized: every call re-enumerates, which is the
+    enumeration cost this baseline models.
+    """
+    if not _local_match(element, qnode):
+        return False
+    return _predicates_hold(element, qnode, skip_trunk=False)
+
+
+def _enumerate(document: Document, query: QueryTree) -> tuple[list[int], int]:
+    """Return (solution ids, number of full pattern matches enumerated)."""
+    trunk: list[QueryNode] = [query.root]
+    while not trunk[-1].is_return:
+        trunk.append(next(child for child in trunk[-1].children if child.on_trunk))
+
+    def bindings_for(qnode: QueryNode, scope: Iterable[Element]) -> list[Element]:
+        result = []
+        for element in scope:
+            if not _local_match(element, qnode):
+                continue
+            # Check the *branch* predicates here by full recursive
+            # re-evaluation; the trunk continuation is what the next
+            # partial-binding round explores.
+            if _predicates_hold(element, qnode, skip_trunk=True):
+                result.append(element)
+        return result
+
+    if query.root.axis == CHILD_EDGE:
+        root_scope: Iterable[Element] = [document.root]
+    else:
+        root_scope = document.iter_elements()
+
+    partials: list[Element] = bindings_for(trunk[0], root_scope)
+    match_count = len(partials)
+    for qnode in trunk[1:]:
+        extended: list[Element] = []
+        # One pass per *partial binding*, not per distinct element: the
+        # same element is revisited once per embedding prefix.
+        for binding in partials:
+            extended.extend(bindings_for(qnode, _axis_candidates(binding, qnode)))
+        partials = extended
+        match_count += len(partials)
+
+    solutions = sorted({element.node_id for element in partials})
+    return solutions, match_count
+
+
+def evaluate_enumerative(document: Document, query: "str | QueryTree") -> list[int]:
+    """Evaluate by full enumeration; return sorted solution ids."""
+    solutions, _count = _enumerate(document, as_query_tree(query))
+    return solutions
+
+
+def count_pattern_matches(document: Document, query: "str | QueryTree") -> int:
+    """How many (partial) trunk embeddings enumeration visits.
+
+    Exposed for the ablation benchmarks: this is the quantity TwigM's
+    stacks encode in O(|Q|·depth) space instead.
+    """
+    _solutions, count = _enumerate(document, as_query_tree(query))
+    return count
+
+
+class EnumerativeDomEngine(Engine):
+    """The Galax stand-in: DOM load + naive match enumeration."""
+
+    name = "Galax*"
+    streaming = False
+
+    def supports(self, query: "str | QueryTree") -> bool:
+        """Galax implements all of XQuery 1.0: everything we parse."""
+        return True
+
+    def run(self, query: "str | QueryTree", events: Iterable[Event]) -> list[int]:
+        document = build_document(events)
+        return evaluate_enumerative(document, query)

@@ -1,0 +1,187 @@
+"""Polynomial main-memory XPath evaluation — the XMLTaskForce stand-in.
+
+XMLTaskForce is the Gottlob-Koch-Pichler polynomial-time main-memory
+XPath processor [16].  Its defining traits, which this stand-in keeps:
+
+* the **whole document is loaded** before evaluation (memory ∝ |D|, the
+  behaviour figure 8 and figure 10 attribute to it — it runs out of
+  memory on the largest corpus);
+* evaluation is **polynomial**, via bottom-up node-*set* computation —
+  no pattern-match enumeration;
+* random access lets it check predicates *first*, so it never stores
+  pattern matches at all.
+
+Because it is simple and obviously correct, this evaluator doubles as the
+**test oracle** for differential testing of the streaming engines.
+
+Algorithm: for every query node ``q`` (post-order), compute the set
+``sat(q)`` of elements matching the subquery rooted at ``q`` (tag + local
+tests + one child/descendant witness per query child).  Then walk the
+trunk top-down intersecting with parent/ancestor reachability; the final
+trunk set, restricted to the return node, is the answer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.baselines.common import Engine, as_query_tree
+from repro.stream.document import Document, Element, build_document
+from repro.stream.events import Event
+from repro.xpath.querytree import (
+    CHILD_EDGE,
+    AttrRef,
+    ChildRef,
+    QueryNode,
+    QueryTree,
+    evaluate_condition,
+)
+
+
+def _local_match(element: Element, qnode: QueryNode) -> bool:
+    """Tag, attribute and value tests of ``qnode`` against ``element``."""
+    if not qnode.matches_tag(element.tag):
+        return False
+    if qnode.attribute_tests and not all(
+        test.evaluate(element.attributes) for test in qnode.attribute_tests
+    ):
+        return False
+    if qnode.value_tests:
+        value = element.string_value()
+        if not all(test.evaluate(value) for test in qnode.value_tests):
+            return False
+    return True
+
+
+def _elements_with_child_in(document: Document, members: set[int]) -> set[int]:
+    """Ids of elements having a direct child whose id is in ``members``."""
+    result: set[int] = set()
+    for element in document.iter_elements():
+        if element.node_id in members and element.parent is not None:
+            result.add(element.parent.node_id)
+    return result
+
+
+def _elements_with_descendant_in(document: Document, members: set[int]) -> set[int]:
+    """Ids of elements having a proper descendant in ``members``."""
+    result: set[int] = set()
+    for element in document.iter_elements():
+        if element.node_id in members:
+            ancestor = element.parent
+            while ancestor is not None and ancestor.node_id not in result:
+                result.add(ancestor.node_id)
+                ancestor = ancestor.parent
+    return result
+
+
+def _satisfaction_sets(document: Document, query: QueryTree) -> dict[int, set[int]]:
+    """``sat(q)`` per query node id, computed bottom-up (post-order)."""
+    sat: dict[int, set[int]] = {}
+
+    def visit(qnode: QueryNode) -> None:
+        for child in qnode.children:
+            visit(child)
+        # Which elements can reach a satisfying instance of each child.
+        witness_by_child: dict[int, set[int]] = {}
+        for child in qnode.children:
+            members = sat[child.node_id]
+            if child.axis == CHILD_EDGE:
+                witness = _elements_with_child_in(document, members)
+            else:
+                witness = _elements_with_descendant_in(document, members)
+            witness_by_child[id(child)] = witness
+        members = set()
+        for element in document.iter_elements():
+            if not _local_match(element, qnode):
+                continue
+            if _children_satisfied(element, qnode, witness_by_child):
+                members.add(element.node_id)
+        sat[qnode.node_id] = members
+
+    visit(query.root)
+    return sat
+
+
+def _children_satisfied(element: Element, qnode: QueryNode, witness_by_child) -> bool:
+    """Predicate satisfaction at ``element``: conjunctive children, or
+    the general boolean condition (plus trunk continuation) when set."""
+    if qnode.condition is None:
+        return all(
+            element.node_id in witness_by_child[id(child)]
+            for child in qnode.children
+        )
+    # The trunk child (suffix subquery) is required regardless of the
+    # predicate condition; the condition governs the branch leaves.
+    for child in qnode.children:
+        if child.on_trunk and element.node_id not in witness_by_child[id(child)]:
+            return False
+
+    def leaf(ref) -> bool:
+        if isinstance(ref, ChildRef):
+            return element.node_id in witness_by_child[id(ref.node)]
+        if isinstance(ref, AttrRef):
+            return ref.test.evaluate(element.attributes)
+        return ref.test.evaluate(element.string_value())
+
+    return evaluate_condition(qnode.condition, leaf)
+
+
+def _elements_with_parent_in(document: Document, members: set[int]) -> set[int]:
+    result: set[int] = set()
+    for element in document.iter_elements():
+        if element.parent is not None and element.parent.node_id in members:
+            result.add(element.node_id)
+    return result
+
+
+def _elements_with_ancestor_in(document: Document, members: set[int]) -> set[int]:
+    """Ids of elements with a proper ancestor in ``members`` (top-down)."""
+    result: set[int] = set()
+
+    def walk(element: Element, under: bool) -> None:
+        if under:
+            result.add(element.node_id)
+        below = under or element.node_id in members
+        for child in element.children:
+            walk(child, below)
+
+    walk(document.root, False)
+    return result
+
+
+def evaluate_on_document(document: Document, query: "str | QueryTree") -> list[int]:
+    """Evaluate ``query`` over an in-memory document; return sorted ids."""
+    tree = as_query_tree(query)
+    sat = _satisfaction_sets(document, tree)
+
+    # Anchor the trunk: '/'-rooted queries match the document element only.
+    current = set(sat[tree.root.node_id])
+    if tree.root.axis == CHILD_EDGE:
+        current &= {document.root.node_id}
+
+    qnode = tree.root
+    while not qnode.is_return:
+        trunk_children = [child for child in qnode.children if child.on_trunk]
+        assert len(trunk_children) == 1, "trunk is a chain ending at the return node"
+        qnode = trunk_children[0]
+        if qnode.axis == CHILD_EDGE:
+            reachable = _elements_with_parent_in(document, current)
+        else:
+            reachable = _elements_with_ancestor_in(document, current)
+        current = reachable & sat[qnode.node_id]
+    return sorted(current)
+
+
+class NavigationalDomEngine(Engine):
+    """The XMLTaskForce stand-in (and the library's test oracle)."""
+
+    name = "XMLTaskForce*"
+    streaming = False
+
+    def supports(self, query: "str | QueryTree") -> bool:
+        """XMLTaskForce is (nearly) complete XPath 1.0: everything we parse."""
+        return True
+
+    def run(self, query: "str | QueryTree", events: Iterable[Event]) -> list[int]:
+        document = build_document(events)
+        return evaluate_on_document(document, query)

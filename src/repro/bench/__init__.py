@@ -1,0 +1,62 @@
+"""Benchmark harness reproducing the paper's evaluation (section 5).
+
+* :mod:`repro.bench.queries` — the figure 6 query sets.
+* :mod:`repro.bench.corpora` — sized, disk-cached dataset instances.
+* :mod:`repro.bench.systems` — the five engines under test.
+* :mod:`repro.bench.harness` — timing/memory measurement protocol.
+* :mod:`repro.bench.figures` — per-figure experiment drivers.
+* :mod:`repro.bench.report` — terminal table rendering.
+* ``python -m repro.bench --figure 7a`` — the CLI.
+"""
+
+from repro.bench.corpora import Corpus, get_corpus, scaled_book_corpus
+from repro.bench.figures import (
+    FIGURES,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    render_figure,
+)
+from repro.bench.harness import Cell, Grid, MemoryUse, Timing, measure_memory, measure_time
+from repro.bench.queries import (
+    BOOK_QUERIES,
+    PROTEIN_QUERIES,
+    QUERY_SETS,
+    XMARK_QUERIES,
+    QuerySpec,
+    get_query,
+)
+from repro.bench.systems import ENGINE_NAMES, TwigmEngine, engine_by_name, make_engines
+
+__all__ = [
+    "BOOK_QUERIES",
+    "Cell",
+    "Corpus",
+    "ENGINE_NAMES",
+    "FIGURES",
+    "Grid",
+    "MemoryUse",
+    "PROTEIN_QUERIES",
+    "QUERY_SETS",
+    "QuerySpec",
+    "Timing",
+    "TwigmEngine",
+    "XMARK_QUERIES",
+    "engine_by_name",
+    "figure10",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "get_corpus",
+    "get_query",
+    "make_engines",
+    "measure_memory",
+    "measure_time",
+    "render_figure",
+    "scaled_book_corpus",
+]

@@ -1,0 +1,121 @@
+"""``python -m repro.bench`` — regenerate the paper's tables and figures.
+
+Examples::
+
+    python -m repro.bench --figure 5
+    python -m repro.bench --figure 7a --profile medium
+    python -m repro.bench --all --profile small
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.corpora import DEFAULT_PROFILE, PROFILES
+from repro.bench.figures import FIGURES, render_figure
+from repro.bench.harness import DEFAULT_REPEATS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Reproduce the evaluation figures of the TwigM paper.",
+    )
+    parser.add_argument(
+        "--figure",
+        action="append",
+        choices=sorted(FIGURES),
+        help="figure id to run (repeatable); see --list",
+    )
+    parser.add_argument("--all", action="store_true", help="run every figure")
+    parser.add_argument(
+        "--profile",
+        default=DEFAULT_PROFILE,
+        choices=sorted(PROFILES),
+        help=f"corpus size profile (default: {DEFAULT_PROFILE})",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=DEFAULT_REPEATS,
+        help=f"timing repetitions (default: {DEFAULT_REPEATS})",
+    )
+    parser.add_argument("--list", action="store_true", help="list figures and exit")
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="also write the measurements as structured JSON to PATH",
+    )
+    parser.add_argument(
+        "--svg",
+        metavar="DIR",
+        help="render plottable figures (7/8/9/10/A) as SVG files in DIR",
+    )
+    return parser
+
+
+def _write_svgs(directory: str, payloads: list[dict]) -> None:
+    import os
+
+    from repro.bench.plot import figure_to_svg
+
+    os.makedirs(directory, exist_ok=True)
+    for payload in payloads:
+        figure = payload["figure"]
+        try:
+            rendered = figure_to_svg(payload)
+        except ValueError:
+            print(f"[figure {figure}: tabular, no SVG]")
+            continue
+        if isinstance(rendered, dict):
+            for qid, svg in rendered.items():
+                path = os.path.join(directory, f"fig{figure}-{qid}.svg")
+                with open(path, "w", encoding="utf-8") as handle:
+                    handle.write(svg)
+                print(f"wrote {path}")
+        else:
+            path = os.path.join(directory, f"fig{figure}.svg")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(rendered)
+            print(f"wrote {path}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for figure, description in sorted(FIGURES.items()):
+            print(f"  {figure:>3}  {description}")
+        return 0
+    figures = list(FIGURES) if args.all else (args.figure or [])
+    if not figures:
+        print("nothing to do: pass --figure, --all or --list", file=sys.stderr)
+        return 2
+    if args.json or args.svg:
+        from repro.bench.export import export_figure, write_json
+
+        payloads = []
+        for figure in figures:
+            started = time.perf_counter()
+            payloads.append(
+                export_figure(figure, profile=args.profile, repeats=args.repeats)
+            )
+            elapsed = time.perf_counter() - started
+            print(f"[figure {figure}: {elapsed:.1f}s]")
+        if args.json:
+            write_json(args.json, payloads)
+            print(f"wrote {args.json}")
+        if args.svg:
+            _write_svgs(args.svg, payloads)
+        return 0
+    for figure in figures:
+        started = time.perf_counter()
+        print(render_figure(figure, profile=args.profile, repeats=args.repeats))
+        elapsed = time.perf_counter() - started
+        print(f"[figure {figure}: {elapsed:.1f}s, profile={args.profile}]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

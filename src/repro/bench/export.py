@@ -1,0 +1,115 @@
+"""Structured (JSON) export of figure results, for plotting pipelines.
+
+``python -m repro.bench --figure 7a --json out.json`` writes the same
+measurements the terminal table shows, as machine-readable records::
+
+    {
+      "figure": "7a",
+      "profile": "small",
+      "kind": "time",
+      "cells": [
+        {"row": "Q1", "column": "TwigM", "supported": true,
+         "seconds": 0.267, "results": 2816},
+        {"row": "Q3", "column": "XSQ*", "supported": false},
+        ...
+      ]
+    }
+
+Rows are queries (figures 7/8) or scale factors (figures 9/10); columns
+are engines.  Unsupported cells appear with ``supported: false`` — the
+plots' missing bars stay visible to downstream tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.bench.harness import Cell, Grid
+
+
+def cell_record(row: str, column: str, cell: "Cell | None") -> dict[str, Any]:
+    """One grid cell as a flat JSON-ready record."""
+    record: dict[str, Any] = {"row": row, "column": column}
+    if cell is None or not cell.supported:
+        record["supported"] = False
+        return record
+    record["supported"] = True
+    if cell.error is not None:
+        record["error"] = cell.error
+        return record
+    if cell.timing is not None:
+        record["seconds"] = cell.timing.mean
+        record["runs"] = list(cell.timing.runs)
+        record["results"] = cell.timing.result_count
+    if cell.memory is not None:
+        record["peak_bytes"] = cell.memory.peak_bytes
+        record["results"] = cell.memory.result_count
+    return record
+
+
+def grid_to_records(grid: Grid) -> list[dict[str, Any]]:
+    """Every cell of a grid, row-major."""
+    return [
+        cell_record(row, column, grid.get(row, column))
+        for row in grid.row_labels
+        for column in grid.column_labels
+    ]
+
+
+def export_figure(figure: str, profile: str, repeats: int) -> dict[str, Any]:
+    """Run one figure and return its structured results."""
+    from repro.bench import figures
+
+    if figure == "5":
+        return {"figure": figure, "profile": profile, "kind": "table",
+                "rows": figures.figure5(profile)}
+    if figure == "6":
+        return {"figure": figure, "profile": profile, "kind": "table",
+                "rows": figures.figure6()}
+    if figure in ("7a", "7b", "7c"):
+        dataset = figures.DATASET_ORDER[("7a", "7b", "7c").index(figure)]
+        grid = figures.figure7(dataset, profile, repeats)
+        return {"figure": figure, "profile": profile, "kind": "time",
+                "dataset": dataset, "cells": grid_to_records(grid)}
+    if figure in ("8a", "8b", "8c"):
+        dataset = figures.DATASET_ORDER[("8a", "8b", "8c").index(figure)]
+        grid = figures.figure8(dataset, profile)
+        return {"figure": figure, "profile": profile, "kind": "memory",
+                "dataset": dataset, "cells": grid_to_records(grid)}
+    if figure == "9":
+        grids = figures.figure9(profile=profile, repeats=repeats)
+        return {
+            "figure": figure, "profile": profile, "kind": "time",
+            "queries": {
+                qid: grid_to_records(grid) for qid, grid in grids.items()
+            },
+        }
+    if figure == "10":
+        grid = figures.figure10(profile=profile)
+        return {"figure": figure, "profile": profile, "kind": "memory",
+                "cells": grid_to_records(grid)}
+    if figure == "A":
+        from repro.bench.complexity import chain_scaling
+
+        series = chain_scaling(repeats=repeats)
+        return {
+            "figure": figure, "profile": profile, "kind": "scaling",
+            "series": [
+                {
+                    "label": entry.label,
+                    "sizes": list(entry.sizes),
+                    "costs": list(entry.costs),
+                    "exponent": entry.exponent,
+                }
+                for entry in series
+            ],
+        }
+    raise KeyError(f"unknown figure {figure!r}")
+
+
+def write_json(path: str, payloads: list[dict[str, Any]]) -> None:
+    """Write figure payloads to ``path`` (a list, even for one figure)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payloads, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,222 @@
+"""Figure drivers: regenerate every table and figure of section 5.
+
+Each ``figure*`` function runs the experiment and returns structured
+results; ``render_figure`` turns any of them into the terminal table the
+CLI prints.  The experiment ↔ module map lives in DESIGN.md; measured
+vs. paper shapes are recorded in EXPERIMENTS.md.
+
+* figure 5  — dataset features (size/elements/depth/recursive).
+* figure 6  — the query sets.
+* figure 7  — execution time grids for Book / Benchmark / Protein.
+* figure 8  — memory grids for the same.
+* figure 9  — execution time vs. Book duplication factor (Q1, Q5, Q9).
+* figure 10 — memory vs. Book duplication factor (Q10).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.bench.corpora import (
+    DEFAULT_PROFILE,
+    Corpus,
+    get_corpus,
+    scaled_book_corpus,
+)
+from repro.bench.harness import (
+    DEFAULT_REPEATS,
+    Cell,
+    Grid,
+    measure_memory,
+    measure_time,
+)
+from repro.bench.queries import QUERY_SETS, QuerySpec, get_query
+from repro.bench.report import render_dict_rows, render_grid
+from repro.bench.systems import make_engines
+from repro.baselines.common import Engine
+from repro.datasets.stats import collect_stats
+from repro.errors import ReproError
+
+#: Dataset keys in the paper's sub-figure order (a), (b), (c).
+DATASET_ORDER = ("book", "benchmark", "protein")
+
+
+def _run_cell(
+    engine: Engine,
+    query: QuerySpec,
+    corpus: Corpus,
+    kind: str,
+    repeats: int,
+) -> Cell:
+    if not engine.supports(query.xpath):
+        return Cell.unsupported()
+
+    def once() -> list[int]:
+        return engine.run(query.xpath, corpus.events())
+
+    try:
+        if kind == "time":
+            return Cell(supported=True, timing=measure_time(once, repeats))
+        return Cell(supported=True, memory=measure_memory(once))
+    except ReproError as exc:  # "the system reports errors" cells
+        return Cell(supported=True, error=str(exc))
+    except RecursionError:
+        return Cell(supported=True, error="recursion limit")
+
+
+def _grid(
+    title: str,
+    dataset: str,
+    kind: str,
+    profile: str,
+    repeats: int,
+    queries: Iterable[QuerySpec] | None = None,
+) -> Grid:
+    corpus = get_corpus(dataset, profile)
+    grid = Grid(title=title)
+    engines = make_engines()
+    for query in queries if queries is not None else QUERY_SETS[dataset]:
+        for engine in engines:
+            grid.put(query.qid, engine.name, _run_cell(engine, query, corpus, kind, repeats))
+    return grid
+
+
+# -- figure 5 ----------------------------------------------------------------
+
+
+def figure5(profile: str = DEFAULT_PROFILE) -> list[dict[str, object]]:
+    """Dataset feature table (paper figure 5)."""
+    rows = []
+    for dataset in DATASET_ORDER:
+        corpus = get_corpus(dataset, profile)
+        stats = collect_stats(corpus.events())
+        rows.append(stats.row(corpus.name))
+    return rows
+
+
+# -- figure 6 ----------------------------------------------------------------
+
+
+def figure6() -> list[dict[str, object]]:
+    """Query set table (paper figure 6)."""
+    rows = []
+    for dataset in DATASET_ORDER:
+        for spec in QUERY_SETS[dataset]:
+            rows.append(
+                {
+                    "set": dataset,
+                    "id": spec.qid,
+                    "class": spec.fragment,
+                    "query": spec.xpath,
+                }
+            )
+    return rows
+
+
+# -- figures 7 and 8 ---------------------------------------------------------
+
+
+def figure7(
+    dataset: str, profile: str = DEFAULT_PROFILE, repeats: int = DEFAULT_REPEATS
+) -> Grid:
+    """Query execution time grid (paper figure 7a/7b/7c)."""
+    return _grid(f"fig7 {dataset} time", dataset, "time", profile, repeats)
+
+
+def figure8(dataset: str, profile: str = DEFAULT_PROFILE) -> Grid:
+    """Memory usage grid (paper figure 8a/8b/8c)."""
+    return _grid(f"fig8 {dataset} memory", dataset, "memory", profile, repeats=1)
+
+
+# -- figures 9 and 10 --------------------------------------------------------
+
+#: Duplication factors of the scalability experiments (paper: 1..6).
+SCALE_FACTORS = (1, 2, 3, 4, 5, 6)
+
+
+def figure9(
+    qids: tuple[str, ...] = ("Q1", "Q5", "Q9"),
+    profile: str = DEFAULT_PROFILE,
+    repeats: int = DEFAULT_REPEATS,
+    factors: tuple[int, ...] = SCALE_FACTORS,
+) -> dict[str, Grid]:
+    """Execution time vs. Book data size (paper figure 9a/9b/9c).
+
+    One grid per query; rows are duplication factors, columns engines.
+    """
+    grids: dict[str, Grid] = {}
+    engines = make_engines()
+    for qid in qids:
+        query = get_query("book", qid)
+        grid = Grid(title=f"fig9 {qid} time-vs-size")
+        for factor in factors:
+            corpus = scaled_book_corpus(factor, profile)
+            for engine in engines:
+                grid.put(
+                    f"x{factor}",
+                    engine.name,
+                    _run_cell(engine, query, corpus, "time", repeats),
+                )
+        grids[qid] = grid
+    return grids
+
+
+def figure10(
+    qid: str = "Q10",
+    profile: str = DEFAULT_PROFILE,
+    factors: tuple[int, ...] = SCALE_FACTORS,
+) -> Grid:
+    """Memory vs. Book data size for Q10 (paper figure 10)."""
+    query = get_query("book", qid)
+    grid = Grid(title=f"fig10 {qid} memory-vs-size")
+    engines = make_engines()
+    for factor in factors:
+        corpus = scaled_book_corpus(factor, profile)
+        for engine in engines:
+            grid.put(
+                f"x{factor}",
+                engine.name,
+                _run_cell(engine, query, corpus, "memory", repeats=1),
+            )
+    return grid
+
+
+# -- registry ----------------------------------------------------------------
+
+FigureRunner = Callable[..., object]
+
+FIGURES: dict[str, str] = {
+    "5": "dataset features",
+    "6": "query sets",
+    "7a": "time, Book", "7b": "time, Benchmark", "7c": "time, Protein",
+    "8a": "memory, Book", "8b": "memory, Benchmark", "8c": "memory, Protein",
+    "9": "time vs data size (Q1, Q5, Q9)",
+    "10": "memory vs data size (Q10)",
+    "A": "ablation: multi-match scaling + fitted exponents (figure 1 chain)",
+}
+
+
+def render_figure(figure: str, profile: str = DEFAULT_PROFILE, repeats: int = DEFAULT_REPEATS) -> str:
+    """Run one figure end-to-end and return its printable table(s)."""
+    if figure == "5":
+        return render_dict_rows("Figure 5: dataset features", figure5(profile))
+    if figure == "6":
+        return render_dict_rows("Figure 6: query sets", figure6())
+    if figure in ("7a", "7b", "7c"):
+        dataset = DATASET_ORDER[("7a", "7b", "7c").index(figure)]
+        return render_grid(figure7(dataset, profile, repeats), "time")
+    if figure in ("8a", "8b", "8c"):
+        dataset = DATASET_ORDER[("8a", "8b", "8c").index(figure)]
+        return render_grid(figure8(dataset, profile), "memory")
+    if figure == "9":
+        parts = [
+            render_grid(grid, "time") for grid in figure9(profile=profile, repeats=repeats).values()
+        ]
+        return "\n\n".join(parts)
+    if figure == "10":
+        return render_grid(figure10(profile=profile), "memory")
+    if figure == "A":
+        from repro.bench.complexity import chain_scaling, render_chain_scaling
+
+        return render_chain_scaling(chain_scaling(repeats=max(1, repeats // 2 + 1)))
+    raise KeyError(f"unknown figure {figure!r}; known: {sorted(FIGURES)}")

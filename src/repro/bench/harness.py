@@ -1,0 +1,123 @@
+"""Measurement protocol and result records for the figure drivers.
+
+Timing follows the paper's protocol (section 5.1): repeat the run N
+times, discard the maximum and the minimum, average the rest.  Memory is
+the peak traced heap during the run (:mod:`tracemalloc`), which stands in
+for the paper's process-RSS readings — absolute values differ from a C++
+binary's, relative engine ordering does not (the substitution is logged
+in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Callable
+
+#: Runs per measurement; the paper uses 10 (we default lower because a
+#: pure-Python engine stack is orders of magnitude slower per run).
+DEFAULT_REPEATS = 5
+
+
+@dataclass(frozen=True, slots=True)
+class Timing:
+    """One timing measurement (seconds)."""
+
+    mean: float
+    runs: tuple[float, ...]
+    result_count: int
+
+    @property
+    def best(self) -> float:
+        return min(self.runs)
+
+
+@dataclass(frozen=True, slots=True)
+class MemoryUse:
+    """One memory measurement (bytes of peak traced heap)."""
+
+    peak_bytes: int
+    result_count: int
+
+    @property
+    def peak_mb(self) -> float:
+        return self.peak_bytes / (1024 * 1024)
+
+
+@dataclass(frozen=True, slots=True)
+class Cell:
+    """One grid cell of a figure: a measurement or an unsupported marker."""
+
+    supported: bool
+    timing: Timing | None = None
+    memory: MemoryUse | None = None
+    error: str | None = None
+
+    @staticmethod
+    def unsupported() -> "Cell":
+        return Cell(supported=False)
+
+
+def trimmed_mean(samples: list[float]) -> float:
+    """The paper's average: drop min and max, mean the rest.
+
+    With fewer than three samples there is nothing to trim.
+    """
+    if len(samples) >= 3:
+        trimmed = sorted(samples)[1:-1]
+    else:
+        trimmed = samples
+    return sum(trimmed) / len(trimmed)
+
+
+def measure_time(run: Callable[[], list[int]], repeats: int = DEFAULT_REPEATS) -> Timing:
+    """Time ``run`` following the repeat/trim/average protocol."""
+    samples: list[float] = []
+    count = 0
+    for _ in range(repeats):
+        started = time.perf_counter()
+        results = run()
+        samples.append(time.perf_counter() - started)
+        count = len(results)
+    return Timing(mean=trimmed_mean(samples), runs=tuple(samples), result_count=count)
+
+
+def measure_memory(run: Callable[[], list[int]]) -> MemoryUse:
+    """Peak traced heap while ``run`` executes (single run).
+
+    The baseline (allocations live before the run) is subtracted so the
+    measurement reflects the engine's working set, not the harness's.
+    """
+    already_tracing = tracemalloc.is_tracing()
+    if not already_tracing:
+        tracemalloc.start()
+    tracemalloc.reset_peak()
+    baseline, _ = tracemalloc.get_traced_memory()
+    try:
+        results = run()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        if not already_tracing:
+            tracemalloc.stop()
+    return MemoryUse(peak_bytes=max(0, peak - baseline), result_count=len(results))
+
+
+@dataclass(slots=True)
+class Grid:
+    """A figure's result grid: rows = queries, columns = engines."""
+
+    title: str
+    row_labels: list[str] = field(default_factory=list)
+    column_labels: list[str] = field(default_factory=list)
+    cells: dict[tuple[str, str], Cell] = field(default_factory=dict)
+
+    def put(self, row: str, column: str, cell: Cell) -> None:
+        if row not in self.row_labels:
+            self.row_labels.append(row)
+        if column not in self.column_labels:
+            self.column_labels.append(column)
+        self.cells[(row, column)] = cell
+
+    def get(self, row: str, column: str) -> Cell | None:
+        return self.cells.get((row, column))

@@ -1,0 +1,308 @@
+"""Dependency-free SVG charts: the paper's figures as actual figures.
+
+The terminal tables of :mod:`repro.bench.report` are faithful but not a
+*plot*; this module renders the same measurements as standalone SVG —
+grouped bar charts for the per-query grids (figures 7 and 8, with
+missing bars exactly where an engine lacks support) and line charts for
+the scalability series (figures 9 and 10).  No plotting library is
+needed, and the output is plain XML (our own tokenizer parses it, which
+the tests exploit).
+
+Entry points:
+
+* :func:`bar_chart` / :func:`line_chart` — SVG text from data;
+* :func:`figure_to_svg` — render one exported figure payload
+  (:func:`repro.bench.export.export_figure`) to SVG text;
+* the CLI flag ``python -m repro.bench --figure 7a --svg DIR``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.stream.writer import escape_attribute, escape_text
+
+#: Series colours (colour-blind-safe-ish, fixed order like the paper's legend).
+PALETTE = ("#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377")
+
+WIDTH = 720
+HEIGHT = 400
+MARGIN_LEFT = 70
+MARGIN_RIGHT = 20
+MARGIN_TOP = 48
+MARGIN_BOTTOM = 64
+
+
+def _svg_header(title: str) -> list[str]:
+    return [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" '
+        f'height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" role="img">',
+        f'<title>{escape_text(title)}</title>',
+        f'<rect x="0" y="0" width="{WIDTH}" height="{HEIGHT}" fill="white"/>',
+        f'<text x="{WIDTH / 2:.1f}" y="24" text-anchor="middle" '
+        f'font-family="sans-serif" font-size="15" font-weight="bold">'
+        f"{escape_text(title)}</text>",
+    ]
+
+
+def _nice_max(value: float) -> float:
+    """Round up to 1/2/5 × 10^k for a tidy axis."""
+    if value <= 0:
+        return 1.0
+    exponent = math.floor(math.log10(value))
+    base = value / (10 ** exponent)
+    for nice in (1.0, 2.0, 5.0, 10.0):
+        if base <= nice:
+            return nice * (10 ** exponent)
+    return 10.0 ** (exponent + 1)
+
+
+def _format_tick(value: float) -> str:
+    if value >= 1_000_000:
+        return f"{value / 1_000_000:g}M"
+    if value >= 1_000:
+        return f"{value / 1_000:g}k"
+    if value >= 1:
+        return f"{value:g}"
+    return f"{value:.3g}"
+
+
+def _axes(parts: list[str], top: float, y_label: str) -> tuple[float, float]:
+    plot_w = WIDTH - MARGIN_LEFT - MARGIN_RIGHT
+    plot_h = HEIGHT - MARGIN_TOP - MARGIN_BOTTOM
+    # Horizontal gridlines + tick labels.
+    for i in range(5):
+        value = top * i / 4
+        y = MARGIN_TOP + plot_h * (1 - i / 4)
+        parts.append(
+            f'<line x1="{MARGIN_LEFT}" y1="{y:.1f}" x2="{WIDTH - MARGIN_RIGHT}" '
+            f'y2="{y:.1f}" stroke="#dddddd" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{MARGIN_LEFT - 6}" y="{y + 4:.1f}" text-anchor="end" '
+            f'font-family="sans-serif" font-size="11">{_format_tick(value)}</text>'
+        )
+    parts.append(
+        f'<text x="16" y="{MARGIN_TOP + plot_h / 2:.1f}" text-anchor="middle" '
+        f'font-family="sans-serif" font-size="12" '
+        f'transform="rotate(-90 16 {MARGIN_TOP + plot_h / 2:.1f})">'
+        f"{escape_text(y_label)}</text>"
+    )
+    return plot_w, plot_h
+
+
+def _legend(parts: list[str], names: Sequence[str]) -> None:
+    x = MARGIN_LEFT
+    y = HEIGHT - 18
+    for index, name in enumerate(names):
+        colour = PALETTE[index % len(PALETTE)]
+        parts.append(
+            f'<rect x="{x}" y="{y - 9}" width="10" height="10" fill="{colour}"/>'
+        )
+        parts.append(
+            f'<text x="{x + 14}" y="{y}" font-family="sans-serif" '
+            f'font-size="11">{escape_text(name)}</text>'
+        )
+        x += 14 + 7 * len(name) + 18
+
+
+def bar_chart(
+    title: str,
+    groups: Sequence[str],
+    series: Mapping[str, Sequence["float | None"]],
+    y_label: str,
+) -> str:
+    """A grouped bar chart; ``None`` values are missing bars.
+
+    ``groups`` label the x-axis clusters (queries); each entry of
+    ``series`` is one engine with a value (or None) per group.
+    """
+    parts = _svg_header(title)
+    peak = max(
+        (v for values in series.values() for v in values if v is not None),
+        default=1.0,
+    )
+    top = _nice_max(peak)
+    plot_w, plot_h = _axes(parts, top, y_label)
+    n_groups = max(len(groups), 1)
+    n_series = max(len(series), 1)
+    group_w = plot_w / n_groups
+    bar_w = max(2.0, group_w * 0.8 / n_series)
+    for s_index, (name, values) in enumerate(series.items()):
+        colour = PALETTE[s_index % len(PALETTE)]
+        for g_index, value in enumerate(values):
+            if value is None:
+                continue  # the paper's missing bar
+            x = (
+                MARGIN_LEFT
+                + g_index * group_w
+                + group_w * 0.1
+                + s_index * bar_w
+            )
+            height = plot_h * min(value, top) / top
+            y = MARGIN_TOP + plot_h - height
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y:.1f}" width="{bar_w:.1f}" '
+                f'height="{height:.1f}" fill="{colour}">'
+                f"<desc>{escape_text(f'{name} {groups[g_index]}: {value:g}')}</desc>"
+                f"</rect>"
+            )
+    for g_index, group in enumerate(groups):
+        x = MARGIN_LEFT + (g_index + 0.5) * group_w
+        parts.append(
+            f'<text x="{x:.1f}" y="{MARGIN_TOP + plot_h + 16}" '
+            f'text-anchor="middle" font-family="sans-serif" font-size="11">'
+            f"{escape_text(group)}</text>"
+        )
+    _legend(parts, list(series))
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def line_chart(
+    title: str,
+    xs: Sequence[float],
+    series: Mapping[str, Sequence["float | None"]],
+    x_label: str,
+    y_label: str,
+) -> str:
+    """A line chart with markers; ``None`` values break the line."""
+    parts = _svg_header(title)
+    peak = max(
+        (v for values in series.values() for v in values if v is not None),
+        default=1.0,
+    )
+    top = _nice_max(peak)
+    plot_w, plot_h = _axes(parts, top, y_label)
+    x_min, x_max = min(xs), max(xs)
+    span = (x_max - x_min) or 1.0
+
+    def sx(x: float) -> float:
+        return MARGIN_LEFT + plot_w * (x - x_min) / span
+
+    def sy(value: float) -> float:
+        return MARGIN_TOP + plot_h * (1 - min(value, top) / top)
+
+    for s_index, (name, values) in enumerate(series.items()):
+        colour = PALETTE[s_index % len(PALETTE)]
+        run: list[str] = []
+        for x, value in zip(xs, values):
+            if value is None:
+                if len(run) >= 2:
+                    parts.append(
+                        f'<polyline points="{" ".join(run)}" fill="none" '
+                        f'stroke="{colour}" stroke-width="2"/>'
+                    )
+                run = []
+                continue
+            run.append(f"{sx(x):.1f},{sy(value):.1f}")
+            parts.append(
+                f'<circle cx="{sx(x):.1f}" cy="{sy(value):.1f}" r="3" '
+                f'fill="{colour}"><desc>'
+                f"{escape_text(f'{name} x={x:g}: {value:g}')}</desc></circle>"
+            )
+        if len(run) >= 2:
+            parts.append(
+                f'<polyline points="{" ".join(run)}" fill="none" '
+                f'stroke="{colour}" stroke-width="2"/>'
+            )
+    for x in xs:
+        parts.append(
+            f'<text x="{sx(x):.1f}" y="{MARGIN_TOP + plot_h + 16}" '
+            f'text-anchor="middle" font-family="sans-serif" font-size="11">'
+            f"{x:g}</text>"
+        )
+    parts.append(
+        f'<text x="{MARGIN_LEFT + plot_w / 2:.1f}" y="{MARGIN_TOP + plot_h + 34}" '
+        f'text-anchor="middle" font-family="sans-serif" font-size="12">'
+        f"{escape_text(x_label)}</text>"
+    )
+    _legend(parts, list(series))
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+# -- figure payload rendering --------------------------------------------------
+
+
+def _cells_to_series(cells: Sequence[dict], value_key: str):
+    rows: list[str] = []
+    columns: list[str] = []
+    values: dict[tuple[str, str], "float | None"] = {}
+    for cell in cells:
+        row, column = cell["row"], cell["column"]
+        if row not in rows:
+            rows.append(row)
+        if column not in columns:
+            columns.append(column)
+        values[(row, column)] = cell.get(value_key) if cell["supported"] else None
+    series = {
+        column: [values.get((row, column)) for row in rows] for column in columns
+    }
+    return rows, series
+
+
+def figure_to_svg(payload: dict) -> "str | dict[str, str]":
+    """Render an exported figure payload as SVG text.
+
+    Figures 7/8/10 return one SVG string; figure 9 returns one per query
+    ({qid: svg}); figure A returns one log-log-style line chart; the
+    tabular figures (5, 6) are not plottable and raise ``ValueError``.
+    """
+    figure = payload["figure"]
+    if figure in ("7a", "7b", "7c"):
+        groups, series = _cells_to_series(payload["cells"], "seconds")
+        return bar_chart(
+            f"Figure {figure}: execution time, {payload['dataset']} "
+            f"({payload['profile']})",
+            groups, series, "seconds",
+        )
+    if figure in ("8a", "8b", "8c"):
+        groups, series = _cells_to_series(payload["cells"], "peak_bytes")
+        scaled = {
+            name: [v / (1024 * 1024) if v is not None else None for v in values]
+            for name, values in series.items()
+        }
+        return bar_chart(
+            f"Figure {figure}: peak memory, {payload['dataset']} "
+            f"({payload['profile']})",
+            groups, scaled, "MB",
+        )
+    if figure == "9":
+        charts: dict[str, str] = {}
+        for qid, cells in payload["queries"].items():
+            rows, series = _cells_to_series(cells, "seconds")
+            xs = [float(row.lstrip("x")) for row in rows]
+            charts[qid] = line_chart(
+                f"Figure 9 ({qid}): time vs Book data size",
+                xs, series, "duplication factor", "seconds",
+            )
+        return charts
+    if figure == "10":
+        rows, series = _cells_to_series(payload["cells"], "peak_bytes")
+        xs = [float(row.lstrip("x")) for row in rows]
+        scaled = {
+            name: [v / (1024 * 1024) if v is not None else None for v in values]
+            for name, values in series.items()
+        }
+        return line_chart(
+            "Figure 10: memory vs Book data size (Q10)",
+            xs, scaled, "duplication factor", "MB",
+        )
+    if figure == "A":
+        xs = None
+        series: dict[str, list[float]] = {}
+        for entry in payload["series"]:
+            if xs is None or len(entry["sizes"]) > len(xs):
+                xs = entry["sizes"]
+        assert xs is not None
+        for entry in payload["series"]:
+            by_size = dict(zip(entry["sizes"], entry["costs"]))
+            label = f"{entry['label']} (k={entry['exponent']:.2f})"
+            series[label] = [by_size.get(size) for size in xs]
+        return line_chart(
+            "Ablation A: multi-match scaling (figure 1 chain)",
+            [float(x) for x in xs], series, "n", "cost",
+        )
+    raise ValueError(f"figure {figure!r} is tabular; no plot")

@@ -1,0 +1,124 @@
+"""Query workloads — the paper's Figure 6 query sets.
+
+The paper tests ten queries per dataset on Book and Protein plus the
+XMark benchmark queries on the Benchmark dataset.  The figure body (the
+exact query strings) did not survive text extraction, so the sets below
+are **reconstructions**; each query is annotated with — and validated in
+the test suite against — the class constraints the paper states:
+
+* **Q1–Q4** ∈ XP{/,//,*}: pure path queries (no predicates).
+* **Q5–Q8** ∈ XP{/,//,[]}: predicates restricted to a single child axis
+  or an attribute; Q8 carries a value test and produces few results.
+* **Q9–Q10** ∈ XP{/,//,*,[]}: multiple predicates per node, path
+  predicates, nested predicates, '*' anywhere.
+
+XMark queries are the path skeletons of the benchmark's XQuery set
+restricted to "/", "//", "*" and predicates, as the paper prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Fragment class labels, matching figure 6's grouping.
+PATH_CLASS = "XP{/,//,*}"
+SIMPLE_PRED_CLASS = "XP{/,//,[]}"
+FULL_CLASS = "XP{/,//,*,[]}"
+
+
+@dataclass(frozen=True, slots=True)
+class QuerySpec:
+    """One benchmark query: id, XPath text, fragment class, rationale."""
+
+    qid: str
+    xpath: str
+    fragment: str
+    note: str = ""
+
+    def __str__(self) -> str:
+        return f"{self.qid}: {self.xpath}"
+
+
+BOOK_QUERIES: tuple[QuerySpec, ...] = (
+    QuerySpec("Q1", "//section//title", PATH_CLASS,
+              "descendant axes over the recursive tag"),
+    QuerySpec("Q2", "/bib/book//section/title", PATH_CLASS,
+              "rooted path mixing / and //"),
+    QuerySpec("Q3", "//section/*/image", PATH_CLASS,
+              "interior wildcard (folded into an edge distance)"),
+    QuerySpec("Q4", "/bib/*//figure//*", PATH_CLASS,
+              "multiple wildcards incl. a '*' return node"),
+    QuerySpec("Q5", "//section[title]//figure", SIMPLE_PRED_CLASS,
+              "single-child predicate under recursion"),
+    QuerySpec("Q6", "//section[@difficulty]/title", SIMPLE_PRED_CLASS,
+              "attribute-existence predicate"),
+    QuerySpec("Q7", "//book[title]//section[figure]/title", SIMPLE_PRED_CLASS,
+              "two single-child predicates on one trunk"),
+    QuerySpec("Q8", "//section[@difficulty = 'hard']//image", SIMPLE_PRED_CLASS,
+              "value test; small result (paper: Q8 has a value test)"),
+    QuerySpec("Q9", "//book//section[title][figure/image]//p", FULL_CLASS,
+              "multiple predicates on a node + nested predicate path"),
+    QuerySpec("Q10", "//*[@id][title]//section[p]//figure/title", FULL_CLASS,
+              "'*' with predicates, predicate paths, descendant axes"),
+)
+
+PROTEIN_QUERIES: tuple[QuerySpec, ...] = (
+    QuerySpec("Q1", "//ProteinEntry//name", PATH_CLASS,
+              "descendant search across every entry"),
+    QuerySpec("Q2", "/ProteinDatabase/ProteinEntry/protein/name", PATH_CLASS,
+              "fully rooted child path"),
+    QuerySpec("Q3", "//refinfo/*/author", PATH_CLASS,
+              "interior wildcard (authors)"),
+    QuerySpec("Q4", "/ProteinDatabase/*//year", PATH_CLASS,
+              "wildcard + descendant"),
+    QuerySpec("Q5", "//reference[accinfo]//author", SIMPLE_PRED_CLASS,
+              "single-child predicate"),
+    QuerySpec("Q6", "//refinfo[@refid]/title", SIMPLE_PRED_CLASS,
+              "attribute-existence predicate"),
+    QuerySpec("Q7", "//ProteinEntry[classification]//refinfo[year]/citation",
+              SIMPLE_PRED_CLASS, "two single-child predicates"),
+    QuerySpec("Q8", "//summary[type = 'fragment']/length", SIMPLE_PRED_CLASS,
+              "value test; selective result"),
+    QuerySpec("Q9", "//ProteinEntry[organism/source][keywords]//refinfo[title]/year",
+              FULL_CLASS, "multiple + nested predicates"),
+    QuerySpec("Q10", "//*[header]//reference[refinfo/@refid]//title", FULL_CLASS,
+              "'*' with predicate, attribute inside a predicate path"),
+)
+
+XMARK_QUERIES: tuple[QuerySpec, ...] = (
+    QuerySpec("XM1", "/site/people/person[@id]/name", SIMPLE_PRED_CLASS,
+              "XMark Q1 path skeleton (person lookup by id)"),
+    QuerySpec("XM2", "/site/open_auctions/open_auction/bidder[increase]/date",
+              SIMPLE_PRED_CLASS, "XMark Q2 (bids with increase)"),
+    QuerySpec("XM3", "//open_auction[bidder/personref]//reserve", FULL_CLASS,
+              "XMark Q3-like (nested predicate path)"),
+    QuerySpec("XM4", "/site/closed_auctions/closed_auction[annotation/description]/price",
+              FULL_CLASS, "XMark Q5-like (annotated sales)"),
+    QuerySpec("XM5", "//regions//item/name", PATH_CLASS,
+              "XMark Q6 (all items, any region)"),
+    QuerySpec("XM6", "//description//listitem//text", PATH_CLASS,
+              "XMark Q7-like; exercises the parlist recursion"),
+    QuerySpec("XM7", "/site/people/person[profile/gender][profile/age]/name",
+              FULL_CLASS, "XMark Q10-like (profiled people)"),
+    QuerySpec("XM8", "/site/*/closed_auction//annotation[author]/happiness",
+              FULL_CLASS, "wildcard hub step + predicate"),
+    QuerySpec("XM9", "//item[mailbox/mail]//description//text", FULL_CLASS,
+              "items with mail, rich-text descent"),
+    QuerySpec("XM10", "//person[profile/@income]/name", FULL_CLASS,
+              "attribute test inside a predicate path"),
+)
+
+#: Query sets keyed the way the figures reference them.
+QUERY_SETS: dict[str, tuple[QuerySpec, ...]] = {
+    "book": BOOK_QUERIES,
+    "benchmark": XMARK_QUERIES,
+    "protein": PROTEIN_QUERIES,
+}
+
+
+def get_query(dataset: str, qid: str) -> QuerySpec:
+    """Look up one query by dataset family and id (e.g. 'book', 'Q5')."""
+    for spec in QUERY_SETS[dataset]:
+        if spec.qid == qid:
+            return spec
+    raise KeyError(f"no query {qid!r} for dataset {dataset!r}")

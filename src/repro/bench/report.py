@@ -1,0 +1,91 @@
+"""Plain-text rendering of figure grids and tables.
+
+The paper presents figures 7-10 as plots; a terminal reproduction prints
+the same series as tables, one row per query (or scale factor), one
+column per system.  Unsupported cells print ``—`` exactly where the
+paper's plots have missing bars ("systems that are not shown ... do not
+support this query").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.bench.harness import Cell, Grid
+
+UNSUPPORTED_MARK = "—"
+ERROR_MARK = "err"
+
+
+def format_seconds(seconds: float) -> str:
+    if seconds < 0.001:
+        return f"{seconds * 1e6:.0f}µs"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+def format_bytes(count: int) -> str:
+    if count < 1024 * 1024:
+        return f"{count / 1024:.0f}KB"
+    return f"{count / (1024 * 1024):.2f}MB"
+
+
+def _cell_text(cell: Cell | None, kind: str) -> str:
+    if cell is None or not cell.supported:
+        return UNSUPPORTED_MARK
+    if cell.error is not None:
+        return ERROR_MARK
+    if kind == "time" and cell.timing is not None:
+        return format_seconds(cell.timing.mean)
+    if kind == "memory" and cell.memory is not None:
+        return format_bytes(cell.memory.peak_bytes)
+    if kind == "count":
+        measurement = cell.timing or cell.memory
+        return str(measurement.result_count) if measurement else UNSUPPORTED_MARK
+    return UNSUPPORTED_MARK
+
+
+def render_table(header: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
+    """Monospace table with column alignment."""
+    all_rows = [list(header)] + [list(row) for row in rows]
+    widths = [0] * len(header)
+    for row in all_rows:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(str(value)))
+    lines = []
+    for number, row in enumerate(all_rows):
+        line = "  ".join(str(value).ljust(widths[index]) for index, value in enumerate(row))
+        lines.append(line.rstrip())
+        if number == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def render_grid(grid: Grid, kind: str = "time") -> str:
+    """Render a figure grid; ``kind`` is 'time', 'memory' or 'count'."""
+    header = [grid.title] + list(grid.column_labels)
+    rows = []
+    for row_label in grid.row_labels:
+        row = [row_label]
+        for column in grid.column_labels:
+            row.append(_cell_text(grid.get(row_label, column), kind))
+        rows.append(row)
+    return render_table(header, rows)
+
+
+def render_dict_rows(title: str, rows: Sequence[dict[str, object]]) -> str:
+    """Render a list of dicts (e.g. figure 5's dataset table).
+
+    The header is the union of keys in first-seen order; rows missing a
+    key print the unsupported marker.
+    """
+    if not rows:
+        return f"{title}\n(no rows)"
+    header: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in header:
+                header.append(key)
+    body = [[str(row.get(key, UNSUPPORTED_MARK)) for key in header] for row in rows]
+    return f"{title}\n" + render_table(header, body)

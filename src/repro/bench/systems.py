@@ -1,0 +1,66 @@
+"""Engine registry for the benchmarks — the five systems of section 5.
+
+Each entry adapts one evaluator to the uniform
+:class:`~repro.baselines.common.Engine` interface.  ``TwigM`` here always
+uses the TwigM machine (the paper benchmarks the TwigM implementation,
+not the PathM/BranchM specialisations, which is why XMLTK can still beat
+it on pure path queries in figure 7).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.baselines.common import Engine, as_query_tree
+from repro.baselines.enumerative import EnumerativeDomEngine
+from repro.baselines.explicit import ExplicitMatchEngine
+from repro.baselines.lazydfa import LazyDfaEngine
+from repro.baselines.navigational import NavigationalDomEngine
+from repro.core.results import CollectingSink
+from repro.core.twigm import TwigM
+from repro.errors import ReproError
+from repro.stream.events import Event
+from repro.xpath.querytree import QueryTree
+
+
+class TwigmEngine(Engine):
+    """The paper's system: the TwigM machine for every query."""
+
+    name = "TwigM"
+    streaming = True
+
+    def supports(self, query: "str | QueryTree") -> bool:
+        try:
+            as_query_tree(query)
+        except ReproError:
+            return False
+        return True
+
+    def run(self, query: "str | QueryTree", events: Iterable[Event]) -> list[int]:
+        sink = CollectingSink()
+        TwigM(as_query_tree(query), sink=sink).feed(events)
+        return sink.results
+
+
+#: The five systems, in the paper's plotting order.
+def make_engines() -> list[Engine]:
+    """Fresh engine instances (some keep per-run instrumentation)."""
+    return [
+        TwigmEngine(),
+        LazyDfaEngine(),
+        ExplicitMatchEngine(),
+        EnumerativeDomEngine(),
+        NavigationalDomEngine(),
+    ]
+
+
+def engine_by_name(name: str) -> Engine:
+    """Look an engine up by its table name (e.g. 'TwigM', 'XSQ*')."""
+    for engine in make_engines():
+        if engine.name.lower() == name.lower():
+            return engine
+    raise KeyError(f"unknown engine {name!r}")
+
+
+#: Names in plotting order, for table headers.
+ENGINE_NAMES = [engine.name for engine in make_engines()]

@@ -1,0 +1,178 @@
+"""BranchM: streaming evaluation of XP{/,[]} — predicates without '//' or
+'*' (section 3.2 of the paper).
+
+With only child axes, the level of the XML node matching a machine node is
+fixed (the node's depth in the query), so **at most one active XML node can
+match a machine node at any moment**.  Machine nodes therefore hold a
+single state slot instead of a stack:
+
+* ``L`` — the level of the currently matched active node (``-1``: none),
+* ``C`` — the candidate set of possible solutions awaiting verification,
+* ``B`` — the branch-match array (here, a bitmask), one flag per child.
+
+On a start tag, a machine node matches when its parent's slot holds the
+node's parent (L = level − 1), recording L (and, for the return node, the
+candidate id).  On the matching end tag, if ``B`` is complete the machine
+node reports up: the root outputs ``C``; any other node sets its flag in
+the parent's ``B``, merges ``C`` upward, and resets its slot.
+
+This specialisation is exactly TwigM with stacks of depth ≤ 1; it exists
+(as in the paper) to isolate the predicate-handling machinery from the
+recursion-handling machinery, and as the cheaper engine for the
+XP{/,[]} fragment.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.machine import Machine, MachineNode, build_machine
+from repro.core.results import CollectingSink, ResultSink
+from repro.errors import UnsupportedQueryError
+from repro.stream.events import Characters, EndElement, Event, StartElement
+from repro.xpath.querytree import QueryTree, compile_query
+
+
+class _Slot:
+    """The (L, C, B) state of one BranchM machine node."""
+
+    __slots__ = ("level", "flags", "candidates", "text_parts")
+
+    def __init__(self) -> None:
+        self.level = -1
+        self.flags = 0
+        self.candidates: set[int] | None = None
+        self.text_parts: list[str] | None = None
+
+    def reset(self) -> None:
+        self.level = -1
+        self.flags = 0
+        self.candidates = None
+        self.text_parts = None
+
+
+class BranchM:
+    """Evaluator for queries in XP{/,[]}.
+
+    Raises :class:`~repro.errors.UnsupportedQueryError` for queries with
+    '//' or '*' (use :class:`~repro.core.twigm.TwigM` instead).
+    """
+
+    def __init__(self, query: "str | QueryTree | Machine", sink: ResultSink | None = None):
+        if isinstance(query, Machine):
+            self.machine = query
+            query_tree = query.query
+        else:
+            if isinstance(query, str):
+                query = compile_query(query)
+            query_tree = query
+            self.machine = build_machine(query)
+        if query_tree.has_descendant_axis() or query_tree.has_wildcard():
+            raise UnsupportedQueryError(
+                f"BranchM evaluates XP{{/,[]}} only; {query_tree.source!r} "
+                "uses '//' or '*'"
+            )
+        if query_tree.has_boolean_connectives():
+            raise UnsupportedQueryError(
+                f"BranchM supports conjunctive predicates only; "
+                f"{query_tree.source!r} uses or/not (use TwigM)"
+            )
+        self.sink = sink if sink is not None else CollectingSink()
+        self._slots: dict[int, _Slot] = {
+            id(node): _Slot() for node in self.machine.iter_nodes()
+        }
+        self._value_slots = [self._slots[id(node)] for node in self.machine.value_nodes]
+
+    @property
+    def results(self) -> list[int]:
+        """Solutions confirmed so far (requires the default sink)."""
+        if isinstance(self.sink, CollectingSink):
+            return self.sink.results
+        raise AttributeError("results are only collected by the default sink")
+
+    def slot_of(self, node: MachineNode) -> _Slot:
+        """The runtime slot of a machine node (read-only use)."""
+        return self._slots[id(node)]
+
+    def reset(self) -> None:
+        """Clear runtime state for a fresh run."""
+        for slot in self._slots.values():
+            slot.reset()
+
+    # -- transitions -------------------------------------------------------
+
+    def start_element(self, tag: str, level: int, node_id: int, attributes=None) -> None:
+        if attributes is None:
+            attributes = {}
+        for node in self.machine.nodes_for_tag(tag):
+            if node.parent is None:
+                if level != node.edge_dist:
+                    continue
+            else:
+                parent_slot = self._slots[id(node.parent)]
+                if parent_slot.level != level - node.edge_dist:
+                    continue
+            if node.attribute_tests and not node.attributes_satisfied(attributes):
+                continue
+            slot = self._slots[id(node)]
+            slot.level = level
+            slot.flags = 0
+            slot.candidates = None
+            slot.text_parts = [] if node.value_tests else None
+            if node.is_return:
+                slot.candidates = {node_id}
+
+    def characters(self, text: str) -> None:
+        """Accumulate string-value data for value-tested nodes."""
+        for slot in self._value_slots:
+            if slot.level != -1 and slot.text_parts is not None:
+                slot.text_parts.append(text)
+
+    def end_element(self, tag: str, level: int) -> None:
+        for node in self.machine.nodes_for_tag(tag):
+            slot = self._slots[id(node)]
+            if slot.level != level:
+                continue
+            satisfied = slot.flags == node.complete_mask
+            if satisfied and node.value_tests:
+                text = "".join(slot.text_parts or ())
+                satisfied = all(test.evaluate(text) for test in node.value_tests)
+            if satisfied:
+                if node.parent is None:
+                    if slot.candidates:
+                        self.sink.emit_all(sorted(slot.candidates))
+                else:
+                    parent_slot = self._slots[id(node.parent)]
+                    # With child-only axes the parent slot necessarily
+                    # holds this node's parent element.
+                    parent_slot.flags |= 1 << node.child_index
+                    if slot.candidates:
+                        if parent_slot.candidates is None:
+                            parent_slot.candidates = set(slot.candidates)
+                        else:
+                            parent_slot.candidates |= slot.candidates
+            slot.reset()
+
+    # -- event-stream driving ------------------------------------------------
+
+    def feed(self, events: Iterable[Event]) -> None:
+        """Process a batch of modified-SAX events."""
+        for event in events:
+            if isinstance(event, StartElement):
+                self.start_element(event.tag, event.level, event.node_id, event.attributes)
+            elif isinstance(event, EndElement):
+                self.end_element(event.tag, event.level)
+            elif self._value_slots and isinstance(event, Characters):
+                self.characters(event.text)
+
+    def run(self, events: Iterable[Event]) -> list[int]:
+        """Evaluate over a complete event stream; return solution ids."""
+        self.feed(events)
+        if isinstance(self.sink, CollectingSink):
+            return self.sink.results
+        return []
+
+
+def evaluate_branchm(query: "str | QueryTree", events: Iterable[Event]) -> list[int]:
+    """One-shot BranchM evaluation: XP{/,[]} query × events → ids."""
+    return BranchM(query).run(events)

@@ -1,0 +1,138 @@
+"""Machine introspection and state rendering — the ViteX demo view.
+
+The paper's system was demonstrated as ViteX [11], whose UI showed the
+machine built for a query and its stacks evolving as the stream plays.
+This module renders the same views as text:
+
+* :func:`render_machine` — the static machine, like the paper's figures
+  2(c), 3(c) and 4: one line per node with its label, parent-edge
+  condition ζ, branch-match slots and local tests;
+* :func:`render_state` — a live snapshot of an engine's stacks (TwigM /
+  PathM) or slots (BranchM), with levels, branch-match bits and
+  candidate sets;
+* :func:`trace` — evaluate step by step, yielding ``(event, snapshot)``
+  pairs; the fastest way to *watch* the paper's examples run.
+
+Example (the paper's M₁ on figure 1's data)::
+
+    from repro.core.debug import render_machine, trace
+    from repro.core.twigm import TwigM
+    from repro.stream.tokenizer import parse_string
+
+    machine = TwigM("//a[d]//b[e]//c")
+    print(render_machine(machine.machine))
+    for event, snapshot in trace(machine, parse_string(xml)):
+        print(event); print(snapshot)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.core.branchm import BranchM
+from repro.core.machine import Machine, MachineNode
+from repro.core.pathm import PathM
+from repro.core.twigm import TwigM
+from repro.stream.events import Characters, EndElement, Event, StartElement
+
+
+def _edge_text(node: MachineNode) -> str:
+    return f"({node.edge_op},{node.edge_dist})"
+
+
+def _tests_text(node: MachineNode) -> str:
+    parts = [str(test) for test in node.attribute_tests]
+    parts += [f". {test}" for test in node.value_tests]
+    if node.compiled_condition is not None:
+        parts.append(f"if {node.compiled_condition.condition}")
+    return f" where {' and '.join(parts)}" if parts else ""
+
+
+def render_machine(machine: Machine) -> str:
+    """The static machine as an indented tree (cf. the paper's figure 4)."""
+    lines = [f"machine for {machine.query.source}"]
+
+    def visit(node: MachineNode, depth: int) -> None:
+        marker = ""
+        if node.is_return:
+            marker += "  <- return node (sol)"
+        if node.parent is None:
+            marker += "  <- root"
+        slots = len(node.children)
+        slot_text = f" B[{slots}]" if slots else ""
+        lines.append(
+            f"{'  ' * depth}{node.label} {_edge_text(node)}{slot_text}"
+            f"{_tests_text(node)}{marker}"
+        )
+        for child in node.children:
+            visit(child, depth + 1)
+
+    visit(machine.root, 1)
+    return "\n".join(lines)
+
+
+def _flags_text(flags: int, width: int) -> str:
+    if width == 0:
+        return "-"
+    return "".join("T" if flags & (1 << index) else "F" for index in range(width))
+
+
+def render_state(engine: "TwigM | PathM | BranchM") -> str:
+    """A live snapshot of the engine's per-node runtime state."""
+    machine = engine.machine
+    lines = []
+    for node in machine.iter_nodes():
+        label = f"{node.label}{'*' if node.is_return else ''}"
+        if isinstance(engine, TwigM):
+            entries = [
+                f"<L={entry.level} B={_flags_text(entry.flags, len(node.children))}"
+                f" C={sorted(entry.candidates) if entry.candidates else '{}'}>"
+                for entry in engine.stack_of(node)
+            ]
+            body = " ".join(entries) if entries else "(empty)"
+        elif isinstance(engine, PathM):
+            levels = engine.stack_of(node)
+            body = " ".join(f"<L={level}>" for level in levels) if levels else "(empty)"
+        else:
+            slot = engine.slot_of(node)
+            if slot.level == -1:
+                body = "(no match)"
+            else:
+                body = (
+                    f"<L={slot.level} B={_flags_text(slot.flags, len(node.children))}"
+                    f" C={sorted(slot.candidates) if slot.candidates else '{}'}>"
+                )
+        lines.append(f"  {label:12s} {body}")
+    return "\n".join(lines)
+
+
+def trace(
+    engine: "TwigM | PathM | BranchM", events: Iterable[Event]
+) -> Iterator[tuple[Event, str]]:
+    """Drive ``engine`` one event at a time, yielding state snapshots."""
+    for event in events:
+        if isinstance(event, StartElement):
+            engine.start_element(event.tag, event.level, event.node_id, event.attributes)
+        elif isinstance(event, EndElement):
+            engine.end_element(event.tag, event.level)
+        elif isinstance(event, Characters) and hasattr(engine, "characters"):
+            engine.characters(event.text)
+        yield event, render_state(engine)
+
+
+def explain_query(query: str) -> str:
+    """One human-readable block: fragment, machine choice, machine shape."""
+    from repro.core.machine import build_machine
+    from repro.core.processor import select_engine_class
+    from repro.xpath.querytree import compile_query
+
+    tree = compile_query(query)
+    machine = build_machine(tree)
+    engine = select_engine_class(tree).__name__
+    header = (
+        f"query:    {tree.source}\n"
+        f"fragment: {tree.fragment()}\n"
+        f"machine:  {engine} ({machine.size()} nodes for {tree.size()} query nodes"
+        f"{'; interior * folded' if machine.size() < tree.size() else ''})"
+    )
+    return header + "\n" + render_machine(machine)

@@ -1,0 +1,224 @@
+"""XML-fragment output — the paper's actual result form (footnote 3).
+
+The algorithms return node *ids*; the paper's implementation "returns XML
+fragments instead of node ids".  :class:`FragmentCapture` reproduces
+that: it runs TwigM over the stream while recording the serialized
+subtree of every *candidate* (each return-node match), emits a fragment
+the moment its candidate is confirmed, and garbage-collects the buffer of
+any candidate that can no longer be confirmed.
+
+Buffering discipline
+--------------------
+
+Fragment output inherently requires buffering: a candidate's subtree may
+finish streaming long before the predicates that decide it are seen.
+The capture keeps memory tight two ways:
+
+* recording starts only when a return-node entry is actually pushed (the
+  engine's :class:`~repro.core.twigm.CandidateTracker` hook), so
+  non-matching elements are never buffered;
+* a reference count per candidate — maintained from the engine's
+  retain/release reports — frees the buffered text the moment the last
+  stack entry holding the candidate dies unconfirmed.  This is the
+  streaming analogue of the paper's "discard all the pattern matches n
+  participates in" pruning, applied to the output buffers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.core.twigm import CandidateTracker, TwigM
+from repro.stream.events import Characters, EndElement, Event, StartElement
+from repro.stream.tokenizer import events_from
+from repro.stream.writer import escape_attribute, escape_text
+from repro.xpath.querytree import QueryTree
+
+
+class _RefCounts(CandidateTracker):
+    """Reference counting + lifecycle callbacks for FragmentCapture."""
+
+    def __init__(self, on_dead: Callable[[int], None], on_emit: Callable[[int], None]):
+        self._counts: dict[int, int] = {}
+        self._emitted: set[int] = set()
+        self._on_dead = on_dead
+        self._on_emit = on_emit
+
+    def created(self, node_id: int) -> None:
+        self._counts[node_id] = 1
+
+    def retained(self, node_id: int) -> None:
+        self._counts[node_id] += 1
+
+    def released(self, node_ids) -> None:
+        for node_id in node_ids:
+            remaining = self._counts[node_id] - 1
+            if remaining:
+                self._counts[node_id] = remaining
+                continue
+            del self._counts[node_id]
+            if node_id in self._emitted:
+                self._emitted.discard(node_id)
+            else:
+                self._on_dead(node_id)
+
+    def emitted(self, node_ids) -> None:
+        for node_id in node_ids:
+            self._emitted.add(node_id)
+            self._on_emit(node_id)
+
+    @property
+    def live(self) -> int:
+        return len(self._counts)
+
+
+class FragmentCapture:
+    """Evaluate a query and produce matched elements as XML fragments.
+
+    Parameters
+    ----------
+    query:
+        Any XP{/,//,*,[]} query (string or compiled tree).
+    on_fragment:
+        Optional callback ``(node_id, xml_text)`` invoked the moment a
+        match is confirmed.  Without it, fragments collect in
+        :attr:`fragments` in confirmation order.
+
+    Example::
+
+        capture = FragmentCapture("//book[price < 30]")
+        for node_id, xml in capture.evaluate("catalog.xml"):
+            print(xml)
+    """
+
+    def __init__(
+        self,
+        query: "str | QueryTree",
+        on_fragment: "Callable[[int, str], None] | None" = None,
+    ):
+        self._pending_emits: list[int] = []
+        self._tracker = _RefCounts(self._discard, self._pending_emits.append)
+        self._engine = TwigM(query, tracker=self._tracker)
+        self._on_fragment = on_fragment
+        #: (node_id, fragment) pairs in confirmation order (collect mode).
+        self.fragments: list[tuple[int, str]] = []
+        #: Buffers for candidates still being recorded or awaiting verdict.
+        self._buffers: dict[int, list[str]] = {}
+        #: Candidates whose subtree is still streaming, innermost last.
+        self._open: list[tuple[int, int]] = []  # (node_id, level)
+        #: Finished, confirmed fragments not yet claimed (callback mode
+        #: flushes immediately; collect mode appends).
+        self._confirmed_early: dict[int, str] = {}
+        #: A start tag not yet committed: empty elements self-close, so
+        #: "<tag ...>" is withheld until the next event decides its form.
+        #: Shared across buffers — every recording sees the same events.
+        self._pending_open: str | None = None
+
+    # -- candidate lifecycle -------------------------------------------------
+
+    def _discard(self, node_id: int) -> None:
+        self._buffers.pop(node_id, None)
+        self._confirmed_early.pop(node_id, None)
+
+    def _finish(self, node_id: int) -> str | None:
+        parts = self._buffers.pop(node_id, None)
+        return "".join(parts) if parts is not None else None
+
+    # -- event processing ------------------------------------------------------
+
+    def feed(self, events: Iterable[Event]) -> None:
+        """Process events, recording candidate subtrees as they stream."""
+        engine = self._engine
+        return_label = engine.machine.return_node.label
+        return_stack = engine.stack_of(engine.machine.return_node)
+        for event in events:
+            if isinstance(event, StartElement):
+                # Any new event proves the previous element has content:
+                # commit its withheld open tag before new buffers appear.
+                self._flush_open()
+                depth_before = len(return_stack)
+                engine.start_element(event.tag, event.level, event.node_id, event.attributes)
+                if len(return_stack) > depth_before:
+                    # The return node accepted this element: new candidate.
+                    self._buffers[event.node_id] = []
+                    self._open.append((event.node_id, event.level))
+                if self._open:
+                    self._record_start(event)
+            elif isinstance(event, EndElement):
+                if self._open:
+                    self._record_end(event)
+                engine.end_element(event.tag, event.level)
+                self._flush_emits()
+            else:
+                if self._open:
+                    self._record_text(event)
+                engine.characters(event.text)
+
+    def _flush_open(self) -> None:
+        if self._pending_open is not None:
+            self._append_all(self._pending_open + ">")
+            self._pending_open = None
+
+    def _record_start(self, event: StartElement) -> None:
+        attrs = "".join(
+            f' {name}="{escape_attribute(value)}"'
+            for name, value in event.attributes.items()
+        )
+        self._pending_open = f"<{event.tag}{attrs}"
+
+    def _record_text(self, event: Characters) -> None:
+        self._flush_open()
+        self._append_all(escape_text(event.text))
+
+    def _record_end(self, event: EndElement) -> None:
+        if self._pending_open is not None:
+            # The element held no content: self-close, skip the end tag.
+            self._append_all(self._pending_open + "/>")
+            self._pending_open = None
+        else:
+            self._append_all(f"</{event.tag}>")
+        while self._open and self._open[-1][1] == event.level:
+            self._open.pop()
+
+    def _append_all(self, text: str) -> None:
+        for node_id, _level in self._open:
+            buffer = self._buffers.get(node_id)
+            if buffer is not None:
+                buffer.append(text)
+
+    def _flush_emits(self) -> None:
+        if not self._pending_emits:
+            return
+        # Copy-and-clear in place: the tracker holds a bound reference to
+        # this very list, so it must never be rebound.
+        pending = self._pending_emits[:]
+        self._pending_emits.clear()
+        for node_id in pending:
+            fragment = self._finish(node_id)
+            if fragment is None:
+                continue
+            if self._on_fragment is not None:
+                self._on_fragment(node_id, fragment)
+            else:
+                self.fragments.append((node_id, fragment))
+
+    # -- one-shot ------------------------------------------------------------
+
+    def evaluate(self, source) -> list[tuple[int, str]]:
+        """Evaluate over any event source; return (id, fragment) pairs."""
+        self.feed(events_from(source))
+        return self.fragments
+
+    @property
+    def buffered_candidates(self) -> int:
+        """Candidates currently held in memory (for memory accounting)."""
+        return len(self._buffers)
+
+    def query_fragment(self) -> str:
+        """The paper fragment the underlying query belongs to."""
+        return self._engine.machine.query.fragment()
+
+
+def evaluate_fragments(query: "str | QueryTree", source) -> list[str]:
+    """One-shot fragment evaluation: query × source → XML fragments."""
+    return [fragment for _id, fragment in FragmentCapture(query).evaluate(source)]

@@ -1,0 +1,124 @@
+"""Multi-query evaluation: many XPath queries, one pass over the stream.
+
+Streaming deployments (the stock feeds and sensor networks of the
+paper's introduction) rarely run a single query: a dispatcher holds many
+standing queries against one feed.  :class:`MultiQueryStream` parses the
+stream once and fans each event out to one machine per query — the same
+events, one sequential scan, per-query incremental results.
+
+This is the natural library complement to the single-query engines; the
+related-work systems that specialise in *huge* numbers of queries
+(YFilter's shared automaton, XTrie) trade per-query machinery for shared
+prefixes and are out of scope, as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping
+
+from repro.core.processor import XPathStream
+from repro.core.results import CallbackSink
+from repro.stream.events import Event
+from repro.stream.tokenizer import XmlTokenizer, events_from
+from repro.xpath.querytree import QueryTree
+
+
+class MultiQueryStream:
+    """Evaluate a set of named queries over one XML stream.
+
+    Parameters
+    ----------
+    queries:
+        Mapping of query name → XPath string (or compiled tree).
+    on_match:
+        Optional callback ``(name, node_id)`` fired as soon as any query
+        confirms a solution.  Without it, results collect per query.
+
+    Example::
+
+        feed = MultiQueryStream({
+            "cheap":  "//book[price < 30]//title",
+            "recent": "//book[@year = '2006']//title",
+        })
+        results = feed.evaluate("catalog.xml")
+        results["cheap"]   # -> [ids...]
+    """
+
+    def __init__(
+        self,
+        queries: Mapping[str, "str | QueryTree"],
+        on_match: "Callable[[str, int], None] | None" = None,
+    ):
+        if not queries:
+            raise ValueError("MultiQueryStream needs at least one query")
+        self._streams: dict[str, XPathStream] = {}
+        for name, query in queries.items():
+            if on_match is None:
+                self._streams[name] = XPathStream(query)
+            else:
+                callback = self._bind(on_match, name)
+                self._streams[name] = XPathStream(query, on_match=callback)
+        self._on_match = on_match
+        self._tokenizer: XmlTokenizer | None = None
+
+    @staticmethod
+    def _bind(on_match: Callable[[str, int], None], name: str) -> Callable[[int], None]:
+        def forward(node_id: int) -> None:
+            on_match(name, node_id)
+
+        return forward
+
+    @property
+    def names(self) -> list[str]:
+        return list(self._streams)
+
+    def engine_names(self) -> dict[str, str]:
+        """Which machine evaluates each query (pathm/branchm/twigm)."""
+        return {name: stream.engine_name for name, stream in self._streams.items()}
+
+    # -- feeding ---------------------------------------------------------------
+
+    def feed_events(self, events: Iterable[Event]) -> None:
+        """Fan a batch of events out to every query's machine."""
+        streams = list(self._streams.values())
+        for event in events:
+            for stream in streams:
+                stream.engine.feed((event,))
+
+    def feed_text(self, chunk: str) -> None:
+        """Incrementally parse raw XML and fan the events out."""
+        if self._tokenizer is None:
+            self._tokenizer = XmlTokenizer()
+        self.feed_events(self._tokenizer.feed(chunk))
+
+    def close(self) -> "dict[str, list[int]] | None":
+        """Finish an incremental feed; return collected results (if any)."""
+        if self._tokenizer is not None:
+            self._tokenizer.close()
+            self._tokenizer = None
+        return None if self._on_match is not None else self.results()
+
+    # -- results ---------------------------------------------------------------
+
+    def results(self) -> dict[str, list[int]]:
+        """Per-query solutions collected so far (collect mode only)."""
+        if self._on_match is not None:
+            raise AttributeError("results are not collected when on_match is set")
+        return {name: stream.results for name, stream in self._streams.items()}
+
+    def evaluate(self, source) -> dict[str, list[int]]:
+        """One-shot: evaluate every query over ``source`` in one pass.
+
+        Returns per-query results in collect mode, ``{}`` in callback
+        mode (matches were already delivered to ``on_match``).
+        """
+        self.feed_events(events_from(source))
+        if self._on_match is not None:
+            return {}
+        return self.results()
+
+    def reset(self) -> None:
+        """Prepare every machine for a fresh document."""
+        for stream in self._streams.values():
+            stream.reset()
+        self._tokenizer = None

@@ -1,0 +1,133 @@
+"""PathM: streaming evaluation of XP{/,//,*} — paths without predicates
+(section 3.1 of the paper).
+
+Without predicates there is nothing to verify later: the moment an XML
+node qualifies for the return machine node, it *is* a solution and is
+output immediately — PathM is fully incremental.
+
+Each machine node keeps a stack of the levels of active XML nodes that
+solve its prefix subquery.  An XML node is pushed onto node ``v``'s stack
+iff its level satisfies ζ(v) against some entry of the parent stack (or
+against the document root for the machine root), so stacks never hold
+non-solutions, and membership checks stay polynomial: to qualify an XML
+node we inspect one stack — never the pattern matches it participates in.
+
+The machine construction is shared with TwigM (interior ``'*'`` folding
+and all), but the per-node state is a bare level stack — the branch-match
+and candidate machinery of the general machine is unnecessary here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.machine import EDGE_EQ, Machine, MachineNode, build_machine
+from repro.core.results import CollectingSink, ResultSink
+from repro.errors import UnsupportedQueryError
+from repro.stream.events import EndElement, Event, StartElement
+from repro.xpath.querytree import QueryTree, compile_query
+
+
+class PathM:
+    """Evaluator for queries in XP{/,//,*}.
+
+    Raises :class:`~repro.errors.UnsupportedQueryError` when the query has
+    predicates (use :class:`~repro.core.twigm.TwigM` instead).
+    """
+
+    def __init__(self, query: "str | QueryTree | Machine", sink: ResultSink | None = None):
+        if isinstance(query, Machine):
+            self.machine = query
+        else:
+            if isinstance(query, str):
+                query = compile_query(query)
+            if query.has_branches():
+                raise UnsupportedQueryError(
+                    f"PathM evaluates XP{{/,//,*}} only; {query.source!r} has predicates"
+                )
+            self.machine = build_machine(query)
+        self.sink = sink if sink is not None else CollectingSink()
+        # The machine of a path query is a single chain; per-node state is
+        # a stack of levels.
+        self._stacks: dict[int, list[int]] = {
+            id(node): [] for node in self.machine.iter_nodes()
+        }
+        self._return = self.machine.return_node
+
+    @property
+    def results(self) -> list[int]:
+        """Solutions confirmed so far (requires the default sink)."""
+        if isinstance(self.sink, CollectingSink):
+            return self.sink.results
+        raise AttributeError("results are only collected by the default sink")
+
+    def stack_of(self, node: MachineNode) -> list[int]:
+        """The level stack of a machine node (read-only use)."""
+        return self._stacks[id(node)]
+
+    def reset(self) -> None:
+        """Clear runtime state for a fresh run."""
+        for stack in self._stacks.values():
+            stack.clear()
+
+    # -- transitions ------------------------------------------------------
+
+    def start_element(self, tag: str, level: int, node_id: int, attributes=None) -> None:
+        """Push qualifying nodes; output immediately on the return node."""
+        for node in self.machine.nodes_for_tag(tag):
+            if node.parent is None:
+                if not node.edge_satisfied(level):
+                    continue
+            else:
+                parent_stack = self._stacks[id(node.parent)]
+                if not self._edge_exists(node, parent_stack, level):
+                    continue
+            self._stacks[id(node)].append(level)
+            if node.is_return:
+                self.sink.emit(node_id)
+
+    def end_element(self, tag: str, level: int) -> None:
+        """Pop entries whose element just closed, keeping stacks active-only."""
+        for node in self.machine.nodes_for_tag(tag):
+            stack = self._stacks[id(node)]
+            if stack and stack[-1] == level:
+                stack.pop()
+
+    @staticmethod
+    def _edge_exists(node: MachineNode, parent_stack: list[int], level: int) -> bool:
+        if not parent_stack:
+            return False
+        if node.edge_op == EDGE_EQ:
+            target = level - node.edge_dist
+            # Levels are strictly increasing; check from the top down.
+            for entry_level in reversed(parent_stack):
+                if entry_level == target:
+                    return True
+                if entry_level < target:
+                    return False
+            return False
+        # '>=': the bottom (smallest) entry decides existence.
+        return parent_stack[0] <= level - node.edge_dist
+
+    # -- event-stream driving ----------------------------------------------
+
+    def feed(self, events: Iterable[Event]) -> None:
+        """Process a batch of modified-SAX events."""
+        for event in events:
+            if isinstance(event, StartElement):
+                self.start_element(event.tag, event.level, event.node_id, event.attributes)
+            elif isinstance(event, EndElement):
+                self.end_element(event.tag, event.level)
+            # Characters carry no information for path queries.
+
+    def run(self, events: Iterable[Event]) -> list[int]:
+        """Evaluate over a complete event stream; return solution ids."""
+        self.feed(events)
+        if isinstance(self.sink, CollectingSink):
+            return self.sink.results
+        return []
+
+
+def evaluate_pathm(query: "str | QueryTree", events: Iterable[Event]) -> list[int]:
+    """One-shot PathM evaluation: path query × event stream → ids."""
+    return PathM(query).run(events)

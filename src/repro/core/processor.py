@@ -1,0 +1,161 @@
+"""The public front door: :class:`XPathStream` and :func:`evaluate`.
+
+``XPathStream`` parses a query, classifies its fragment, and instantiates
+the cheapest machine that handles it, as the paper's system does:
+
+* XP{/,//,*} (no predicates)      → :class:`~repro.core.pathm.PathM`
+* XP{/,[]}   (no '//' and no '*') → :class:`~repro.core.branchm.BranchM`
+* XP{/,//,*,[]} (everything)      → :class:`~repro.core.twigm.TwigM`
+
+The evaluator is fed from any event source accepted by
+:func:`repro.stream.tokenizer.events_from` — an XML string, a file path,
+an open file, chunk iterables, or pre-built event streams — so the same
+object serves one-shot evaluation and long-running pipelines.
+
+Example::
+
+    from repro import XPathStream
+
+    stream = XPathStream("//book[price < 30]//title")
+    ids = stream.evaluate("catalog.xml")
+
+    # or push-style, emitting matches as they are confirmed:
+    stream = XPathStream("//alert[severity = 'high']//source",
+                         on_match=print)
+    for chunk in network_chunks:
+        stream.feed_text(chunk)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.core.branchm import BranchM
+from repro.core.pathm import PathM
+from repro.core.results import CallbackSink, CollectingSink, ResultSink
+from repro.core.twigm import TwigM
+from repro.stream.events import Event
+from repro.stream.tokenizer import XmlTokenizer, events_from
+from repro.xpath.querytree import QueryTree, compile_query
+
+#: The engine classes by fragment, in dispatch order.
+_FRAGMENT_ENGINES = {
+    "XP{/,//,*}": PathM,
+    "XP{/,[]}": BranchM,
+    "XP{/,//,*,[]}": TwigM,
+}
+
+
+def select_engine_class(query: QueryTree):
+    """The cheapest machine class for ``query``'s fragment.
+
+    Queries using the boolean-connective extension (or/not) always run
+    on TwigM, whose entries carry the general condition state.
+    """
+    if query.has_boolean_connectives():
+        return TwigM
+    return _FRAGMENT_ENGINES[query.fragment()]
+
+
+class XPathStream:
+    """A streaming XPath processor bound to one query.
+
+    Parameters
+    ----------
+    query:
+        An XPath string or a compiled :class:`QueryTree` in
+        XP{/,//,*,[]} (+ attributes and value tests).
+    on_match:
+        Optional callback invoked with each confirmed solution id as soon
+        as it is known.  Without it, ids are collected and returned.
+    engine:
+        Force a specific machine: ``"pathm"``, ``"branchm"``, ``"twigm"``,
+        or ``None`` (automatic; the default).
+    """
+
+    def __init__(
+        self,
+        query: "str | QueryTree",
+        on_match: Callable[[int], None] | None = None,
+        engine: str | None = None,
+    ):
+        if isinstance(query, str):
+            query = compile_query(query)
+        self.query = query
+        if on_match is None:
+            sink: ResultSink = CollectingSink()
+        else:
+            sink = CallbackSink(on_match)
+        if engine is None:
+            engine_class = select_engine_class(query)
+        else:
+            try:
+                engine_class = {"pathm": PathM, "branchm": BranchM, "twigm": TwigM}[engine]
+            except KeyError:
+                raise ValueError(f"unknown engine {engine!r}") from None
+        self.engine = engine_class(query, sink=sink)
+        self._sink = sink
+        self._tokenizer: XmlTokenizer | None = None
+
+    @property
+    def engine_name(self) -> str:
+        """Which machine evaluates this query: pathm, branchm or twigm."""
+        return type(self.engine).__name__.lower()
+
+    @property
+    def results(self) -> list[int]:
+        """Solutions confirmed so far (collecting mode only)."""
+        if isinstance(self._sink, CollectingSink):
+            return self._sink.results
+        raise AttributeError("results are not collected when on_match is set")
+
+    # -- one-shot -----------------------------------------------------------
+
+    def evaluate(self, source) -> list[int]:
+        """Evaluate the query over ``source``; return solution ids.
+
+        ``source`` may be XML text, a path, a file object, chunk
+        iterables, or an event stream.
+        """
+        self.engine.feed(events_from(source))
+        if isinstance(self._sink, CollectingSink):
+            return self._sink.results
+        return []
+
+    # -- push-style ---------------------------------------------------------
+
+    def feed_events(self, events: Iterable[Event]) -> None:
+        """Push pre-parsed modified-SAX events through the engine."""
+        self.engine.feed(events)
+
+    def feed_text(self, chunk: str) -> None:
+        """Push a chunk of raw XML text (incremental parsing)."""
+        if self._tokenizer is None:
+            self._tokenizer = XmlTokenizer()
+        self.engine.feed(self._tokenizer.feed(chunk))
+
+    def close(self) -> list[int]:
+        """Finish an incremental text feed; return collected ids (if any)."""
+        if self._tokenizer is not None:
+            self._tokenizer.close()
+            self._tokenizer = None
+        if isinstance(self._sink, CollectingSink):
+            return self._sink.results
+        return []
+
+    def reset(self) -> None:
+        """Prepare for a fresh document (keeps the compiled machine)."""
+        self.engine.reset()
+        self._tokenizer = None
+        if isinstance(self._sink, CollectingSink):
+            self._sink.results.clear()
+            self._sink._seen.clear()
+
+
+def evaluate(query: "str | QueryTree", source) -> list[int]:
+    """One-shot convenience: evaluate ``query`` over ``source``.
+
+    Returns the distinct solution node ids (pre-order positions) in
+    confirmation order.
+    """
+    return XPathStream(query).evaluate(source)

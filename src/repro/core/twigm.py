@@ -1,0 +1,354 @@
+"""TwigM: streaming evaluation of XP{/,//,*,[]} (sections 3.3 and 4).
+
+Runtime state is one stack per machine node.  A stack element is the
+paper's triple — level ``L``, branch match ``B``, candidate set ``C`` —
+implemented as :class:`StackEntry` with the branch match packed into an
+integer bitmask (bit β(child) set ⇔ a match for that child was found) and
+the candidate set allocated lazily.
+
+Transition functions (Algorithm 1):
+
+``δs`` — on ``startElement(a, l, id)``, every machine node ``v`` with a
+matching label qualifies when its parent-edge condition holds against the
+parent stack (or against the document root when ``v`` is the machine
+root).  A fresh ``⟨l, ⟨F…F⟩, ∅⟩`` is pushed; if ``v = sol`` the node id
+joins the entry's candidate set.
+
+``δe`` — on ``endElement(a, l)``, every machine node whose top-of-stack
+entry has level ``l`` pops it.  If the entry's branch match is complete
+(and its value tests pass), the match is *satisfied*: the root outputs
+its candidates, any other node sets its β-flag on — and uploads its
+candidates to — every qualifying parent entry.  If the branch match is
+incomplete, the single pop discards every pattern match the entry
+participates in, without enumerating them: that pruning is what makes
+TwigM polynomial, ``O((|Q| + R·B)·|Q|·|D|)``.
+
+The stacks compactly encode an exponential space of pattern matches:
+for ``//a[d]//b[e]//c`` over the paper's Figure 1 data, 2n stack entries
+stand in for n² matches of ``c₁``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.machine import EDGE_EQ, Machine, MachineNode, build_machine
+from repro.core.results import CollectingSink, ResultSink
+from repro.errors import UnsupportedQueryError
+from repro.stream.events import Characters, EndElement, Event, StartElement
+from repro.xpath.querytree import QueryTree, compile_query
+
+
+class StackEntry:
+    """The paper's stack element ⟨L, B, C⟩ (+ text buffer for value tests
+    and attribute-leaf bits for general boolean conditions)."""
+
+    __slots__ = ("level", "flags", "candidates", "text_parts", "attr_bits")
+
+    def __init__(self, level: int):
+        self.level = level
+        self.flags = 0  # branch match B, one bit per machine child
+        self.candidates: set[int] | None = None  # candidate set C, lazy
+        self.text_parts: list[str] | None = None  # string-value buffer
+        self.attr_bits = 0  # attribute-leaf outcomes (condition nodes)
+
+    def add_candidate(self, node_id: int) -> None:
+        if self.candidates is None:
+            self.candidates = {node_id}
+        else:
+            self.candidates.add(node_id)
+
+    def upload_candidates(self, other: "StackEntry") -> None:
+        """Union ``other``'s candidates into this entry (duplicate-free)."""
+        if not other.candidates:
+            return
+        if self.candidates is None:
+            self.candidates = set(other.candidates)
+        else:
+            self.candidates |= other.candidates
+
+    def string_value(self) -> str:
+        return "".join(self.text_parts) if self.text_parts else ""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StackEntry(L={self.level}, B={self.flags:b}, C={self.candidates})"
+
+
+class CandidateTracker:
+    """Observer of candidate lifetimes inside TwigM.
+
+    The engine reports, per candidate id: creation (entering a
+    return-node entry), retention (upload added it to one more parent
+    entry's candidate set), release (a set holding it was popped), and
+    emission.  A candidate whose reference count — creations plus
+    retentions minus releases — reaches zero without emission can never
+    be output; :class:`repro.core.fragments.FragmentCapture` uses that to
+    garbage-collect buffered XML fragments as early as possible.
+    """
+
+    def created(self, node_id: int) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def retained(self, node_id: int) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def released(self, node_ids) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def emitted(self, node_ids) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class TwigM:
+    """The TwigM evaluator: feed it modified-SAX events, read solutions.
+
+    Parameters
+    ----------
+    query:
+        An XPath string, a compiled :class:`~repro.xpath.querytree.QueryTree`,
+        or a prebuilt :class:`~repro.core.machine.Machine`.
+    sink:
+        Destination for confirmed solutions; defaults to a
+        :class:`~repro.core.results.CollectingSink` exposed as
+        :attr:`results`.
+    tracker:
+        Optional :class:`CandidateTracker` observing candidate lifetimes
+        (used by fragment capture for buffer garbage collection).
+    eager:
+        Eager-emission control: ``None`` (default) emits at the return
+        element's end tag whenever that is sound (no predicates above
+        the return node), ``False`` forces the paper's root-close
+        behaviour, ``True`` asserts soundness (raising otherwise).
+
+    Use :meth:`run` for one-shot evaluation, or drive :meth:`start_element`
+    / :meth:`characters` / :meth:`end_element` directly for push-style
+    integration with any parser.
+    """
+
+    def __init__(
+        self,
+        query: "str | QueryTree | Machine",
+        sink: ResultSink | None = None,
+        tracker: "CandidateTracker | None" = None,
+        eager: "bool | None" = None,
+    ):
+        if isinstance(query, Machine):
+            self.machine = query
+        else:
+            if isinstance(query, str):
+                query = compile_query(query)
+            self.machine = build_machine(query)
+        self.sink = sink if sink is not None else CollectingSink()
+        self._tracker = tracker
+        self._stacks: dict[int, list[StackEntry]] = {}
+        for node in self.machine.iter_nodes():
+            self._stacks[id(node)] = []
+        self._value_stacks = [self._stacks[id(node)] for node in self.machine.value_nodes]
+        self._root = self.machine.root
+        self._return = self.machine.return_node
+        # Eager emission defaults to the machine's soundness analysis;
+        # ``eager=False`` forces the paper's root-close behaviour (used
+        # by the buffering ablation), ``eager=True`` is rejected when
+        # unsound.
+        if eager is None:
+            self._eager = self.machine.eager_return
+        elif eager and not self.machine.eager_return:
+            raise UnsupportedQueryError(
+                "eager emission is unsound here: a trunk ancestor of the "
+                "return node carries predicates"
+            )
+        else:
+            self._eager = eager
+
+    # -- introspection --------------------------------------------------
+
+    @property
+    def results(self) -> list[int]:
+        """Solutions confirmed so far (requires the default sink)."""
+        if isinstance(self.sink, CollectingSink):
+            return self.sink.results
+        raise AttributeError("results are only collected by the default sink")
+
+    def stack_of(self, node: MachineNode) -> list[StackEntry]:
+        """The runtime stack of a machine node (read-only use)."""
+        return self._stacks[id(node)]
+
+    def total_stack_entries(self) -> int:
+        """Live entries across all stacks — the compact encoding's size."""
+        return sum(len(stack) for stack in self._stacks.values())
+
+    def reset(self) -> None:
+        """Clear all runtime state; the machine itself is reusable."""
+        for stack in self._stacks.values():
+            stack.clear()
+
+    # -- transition functions --------------------------------------------
+
+    def start_element(self, tag: str, level: int, node_id: int, attributes=None) -> None:
+        """δs of Algorithm 1."""
+        if attributes is None:
+            attributes = {}
+        for node in self.machine.nodes_for_tag(tag):
+            condition = node.compiled_condition
+            if condition is None:
+                if node.attribute_tests and not node.attributes_satisfied(attributes):
+                    # A failed attribute branch can never become true
+                    # later; the would-be entry cannot contribute a
+                    # satisfied match, so it is pruned at push time.
+                    continue
+            elif not condition.possible(attributes):
+                # Generalised prune: with the attribute leaves bound, no
+                # branch/value outcome can satisfy the condition.
+                continue
+            if node.parent is None:
+                if not node.edge_satisfied(level):
+                    continue
+            elif not self._parent_edge_exists(node, level):
+                continue
+            entry = StackEntry(level)
+            if node.value_tests or (condition is not None and condition.has_value_leaves):
+                entry.text_parts = []
+            if condition is not None:
+                entry.attr_bits = condition.attr_bits(attributes)
+            if node.is_return:
+                entry.add_candidate(node_id)
+                if self._tracker is not None:
+                    self._tracker.created(node_id)
+            self._stacks[id(node)].append(entry)
+
+    def _parent_edge_exists(self, node: MachineNode, level: int) -> bool:
+        """∃ e ∈ ξ(ρ(v)) with ζ(v)[1](l − e.level, ζ(v)[2]) — Algorithm 1, δs."""
+        parent_stack = self._stacks[id(node.parent)]
+        if not parent_stack:
+            return False
+        if node.edge_op == EDGE_EQ:
+            target = level - node.edge_dist
+            # Levels increase bottom-to-top; scan down from the top.
+            for entry in reversed(parent_stack):
+                if entry.level == target:
+                    return True
+                if entry.level < target:
+                    return False
+            return False
+        # '>=': the bottom-most (smallest-level) entry decides existence.
+        return parent_stack[0].level <= level - node.edge_dist
+
+    def characters(self, text: str) -> None:
+        """Accumulate string-value data for value-tested machine nodes.
+
+        Every open entry of a value-tested node is an ancestor-or-self of
+        the text, so the run belongs to each entry's string-value.
+        """
+        for stack in self._value_stacks:
+            for entry in stack:
+                entry.text_parts.append(text)  # type: ignore[union-attr]
+
+    def end_element(self, tag: str, level: int) -> None:
+        """δe of Algorithm 1."""
+        tracker = self._tracker
+        for node in self.machine.nodes_for_tag(tag):
+            stack = self._stacks[id(node)]
+            if not stack or stack[-1].level != level:
+                continue
+            entry = stack.pop()
+            condition = node.compiled_condition
+            if condition is None:
+                satisfied = entry.flags == node.complete_mask
+                if satisfied and node.value_tests:
+                    satisfied = all(
+                        test.evaluate(entry.string_value()) for test in node.value_tests
+                    )
+            else:
+                satisfied = condition.satisfied(
+                    entry.flags,
+                    entry.attr_bits,
+                    entry.string_value() if condition.has_value_leaves else "",
+                )
+            if not satisfied:
+                # Incomplete branch match: this one pop discards every
+                # pattern match the entry participates in.
+                if tracker is not None and entry.candidates:
+                    tracker.released(entry.candidates)
+                continue
+            if node.is_return and self._eager:
+                # No predicates above the return node: a satisfied return
+                # entry is already a solution (its prefix path holds by
+                # the push invariant) — emit now, skip candidate uploads.
+                if entry.candidates:
+                    self.sink.emit_all(sorted(entry.candidates))
+                    if tracker is not None:
+                        tracker.emitted(entry.candidates)
+                        tracker.released(entry.candidates)
+                continue
+            if node.parent is None:
+                if entry.candidates:
+                    self.sink.emit_all(sorted(entry.candidates))
+                    if tracker is not None:
+                        tracker.emitted(entry.candidates)
+                        tracker.released(entry.candidates)
+                continue
+            self._propagate(node, entry, level)
+            if tracker is not None and entry.candidates:
+                tracker.released(entry.candidates)
+
+    def _propagate(self, node: MachineNode, entry: StackEntry, level: int) -> None:
+        """Set β(node) and upload candidates on every qualifying parent entry."""
+        parent_stack = self._stacks[id(node.parent)]
+        bit = 1 << node.child_index
+        if node.edge_op == EDGE_EQ:
+            target = level - node.edge_dist
+            # Stack levels are strictly increasing: at most one entry at
+            # ``target``; scan from the top, where recent levels live.
+            for parent_entry in reversed(parent_stack):
+                if parent_entry.level == target:
+                    parent_entry.flags |= bit
+                    self._upload(parent_entry, entry)
+                    break
+                if parent_entry.level < target:
+                    break
+        else:
+            threshold = level - node.edge_dist
+            # Increasing levels: qualifying entries are a prefix.
+            for parent_entry in parent_stack:
+                if parent_entry.level > threshold:
+                    break
+                parent_entry.flags |= bit
+                self._upload(parent_entry, entry)
+
+    def _upload(self, parent_entry: StackEntry, entry: StackEntry) -> None:
+        """Candidate upload, reporting newly-retained ids to the tracker."""
+        if self._tracker is None or not entry.candidates:
+            parent_entry.upload_candidates(entry)
+            return
+        existing = parent_entry.candidates
+        if existing is None:
+            added = set(entry.candidates)
+        else:
+            added = entry.candidates - existing
+        parent_entry.upload_candidates(entry)
+        for node_id in added:
+            self._tracker.retained(node_id)
+
+    # -- event-stream driving ---------------------------------------------
+
+    def feed(self, events: Iterable[Event]) -> None:
+        """Process a batch of modified-SAX events."""
+        for event in events:
+            if isinstance(event, StartElement):
+                self.start_element(event.tag, event.level, event.node_id, event.attributes)
+            elif isinstance(event, EndElement):
+                self.end_element(event.tag, event.level)
+            elif self._value_stacks:  # Characters
+                self.characters(event.text)
+
+    def run(self, events: Iterable[Event]) -> list[int]:
+        """Evaluate over a complete event stream; return solution ids."""
+        self.feed(events)
+        if isinstance(self.sink, CollectingSink):
+            return self.sink.results
+        return []
+
+
+def evaluate_twigm(query: "str | QueryTree", events: Iterable[Event]) -> list[int]:
+    """One-shot TwigM evaluation: query × event stream → solution ids."""
+    return TwigM(query).run(events)

@@ -1,0 +1,62 @@
+"""Synthetic corpora reproducing the paper's three datasets (figure 5).
+
+* :mod:`repro.datasets.book` — recursive Book data (IBM XML Generator
+  stand-in, Book DTD, NumberLevels=20, MaxRepeats=9).
+* :mod:`repro.datasets.xmark` — XMark-style auction benchmark data.
+* :mod:`repro.datasets.protein` — large flat Protein Sequence Database
+  stand-in.
+* :mod:`repro.datasets.dtd` / :mod:`repro.datasets.generator` — the
+  DTD-driven streaming generator engine behind them.
+* :mod:`repro.datasets.stats` — the figure 5 feature table.
+"""
+
+from repro.datasets.book import (
+    PAPER_CONFIG,
+    SECTION_RECURSION_WEIGHT,
+    book_dtd,
+    book_events,
+    duplicated_book_events,
+)
+from repro.datasets.dtd import (
+    AttributeDecl,
+    Dtd,
+    ElementDecl,
+    Particle,
+    choice_of,
+    constant,
+    int_range,
+    make_dtd,
+    words,
+)
+from repro.datasets.generator import DtdGenerator, GeneratorConfig
+from repro.datasets.protein import protein_dtd, protein_events
+from repro.datasets.stats import DatasetStats, collect_stats
+from repro.datasets.treebank import treebank_dtd, treebank_events
+from repro.datasets.xmark import xmark_dtd, xmark_events
+
+__all__ = [
+    "PAPER_CONFIG",
+    "SECTION_RECURSION_WEIGHT",
+    "AttributeDecl",
+    "DatasetStats",
+    "Dtd",
+    "DtdGenerator",
+    "ElementDecl",
+    "GeneratorConfig",
+    "Particle",
+    "book_dtd",
+    "book_events",
+    "choice_of",
+    "collect_stats",
+    "constant",
+    "duplicated_book_events",
+    "int_range",
+    "make_dtd",
+    "protein_dtd",
+    "protein_events",
+    "treebank_dtd",
+    "treebank_events",
+    "words",
+    "xmark_dtd",
+    "xmark_events",
+]

@@ -1,0 +1,5 @@
+"""Entry point for ``python -m repro.datasets``."""
+
+from repro.datasets.cli import main
+
+raise SystemExit(main())

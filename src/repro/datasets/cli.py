@@ -1,0 +1,128 @@
+"""``python -m repro.datasets`` — generate corpora and inspect files.
+
+Generate any of the built-in corpora to an XML file::
+
+    python -m repro.datasets generate book --records 200 -o book.xml
+    python -m repro.datasets generate xmark --scale 4 -o auction.xml
+    python -m repro.datasets generate protein --records 1000 -o pir.xml
+    python -m repro.datasets generate treebank --records 500 -o tb.xml
+
+Print the figure-5 feature row for any XML file (generated or not)::
+
+    python -m repro.datasets stats book.xml other.xml
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.datasets.book import book_events
+from repro.datasets.generator import GeneratorConfig
+from repro.datasets.protein import protein_events
+from repro.datasets.stats import collect_stats
+from repro.datasets.treebank import treebank_events
+from repro.datasets.xmark import xmark_events
+from repro.errors import ReproError
+from repro.stream.tokenizer import parse_file
+from repro.stream.writer import write_events
+
+DATASETS = ("book", "xmark", "protein", "treebank")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.datasets",
+        description="Corpus generation and inspection for the TwigM reproduction.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate", help="write a corpus to a file")
+    generate.add_argument("dataset", choices=DATASETS)
+    generate.add_argument(
+        "--records",
+        type=int,
+        default=100,
+        help="books / protein entries / sentences (ignored by xmark)",
+    )
+    generate.add_argument(
+        "--scale", type=float, default=1.0, help="xmark scale factor"
+    )
+    generate.add_argument("--seed", type=int, default=None, help="override the RNG seed")
+    generate.add_argument("-o", "--output", required=True, help="output XML path")
+    generate.add_argument(
+        "--stats", action="store_true", help="print the feature row afterwards"
+    )
+
+    stats = commands.add_parser("stats", help="print figure-5 feature rows")
+    stats.add_argument("files", nargs="+", help="XML files to scan")
+    return parser
+
+
+def _producer(args):
+    if args.dataset == "book":
+        config = _config(args, base=None)
+        if config is None:
+            return lambda: book_events(args.records)
+        return lambda: book_events(args.records, config=config)
+    if args.dataset == "xmark":
+        from repro.datasets.xmark import DEFAULT_CONFIG
+
+        config = _config(args, base=DEFAULT_CONFIG)
+        if config is None:
+            return lambda: xmark_events(args.scale)
+        return lambda: xmark_events(args.scale, config=config)
+    if args.dataset == "protein":
+        from repro.datasets.protein import DEFAULT_CONFIG
+
+        config = _config(args, base=DEFAULT_CONFIG)
+        if config is None:
+            return lambda: protein_events(args.records)
+        return lambda: protein_events(args.records, config=config)
+    from repro.datasets.treebank import DEFAULT_CONFIG
+
+    config = _config(args, base=DEFAULT_CONFIG)
+    if config is None:
+        return lambda: treebank_events(args.records)
+    return lambda: treebank_events(args.records, config=config)
+
+
+def _config(args, base: "GeneratorConfig | None") -> "GeneratorConfig | None":
+    if args.seed is None:
+        return None
+    if base is None:
+        from repro.datasets.book import PAPER_CONFIG as base  # type: ignore[no-redef]
+    return GeneratorConfig(
+        seed=args.seed,
+        number_levels=base.number_levels,
+        max_repeats=base.max_repeats,
+    )
+
+
+def _print_stats(name: str, events) -> None:
+    stats = collect_stats(events)
+    row = stats.row(name)
+    print("  ".join(f"{key}={value}" for key, value in row.items()))
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "generate":
+            producer = _producer(args)
+            with open(args.output, "w", encoding="utf-8") as handle:
+                write_events(producer(), handle)
+            print(f"wrote {args.output}")
+            if args.stats:
+                _print_stats(args.output, parse_file(args.output))
+            return 0
+        for path in args.files:
+            _print_stats(path, parse_file(path))
+        return 0
+    except (ReproError, OSError) as exc:
+        print(f"repro.datasets: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

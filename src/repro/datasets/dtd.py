@@ -1,0 +1,142 @@
+"""A miniature DTD content model for the synthetic data generators.
+
+The paper's Book corpus comes from IBM's XML Generator [18], which takes
+a DTD plus parameters — notably ``NumberLevels`` (maximum document depth)
+and ``MaxRepeats`` (maximum repetitions of an element within its parent).
+This module models just enough of a DTD to drive an equivalent generator:
+
+* :class:`ElementDecl` — one element type: its content particles, its
+  attributes, and an optional text generator;
+* :class:`Particle` — a repeated (choice of) child element(s):
+  ``(a | b | c){min..max}``.  ``max_count=None`` defers to the
+  generator's ``MaxRepeats``.  ``recursion_weight`` lets recursive
+  alternatives be chosen with a depth-decaying probability so that
+  recursive DTDs (the Book ``section``) produce finite documents with a
+  controllable depth profile;
+* :class:`AttributeDecl` — an attribute with a value sampler and a
+  presence probability;
+* :class:`Dtd` — the element table plus the root element name.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+#: A sampler drawing a string from the RNG (attribute values, text).
+Sampler = Callable[[random.Random], str]
+
+
+def constant(value: str) -> Sampler:
+    """A sampler always returning ``value``."""
+    return lambda rng: value
+
+
+def choice_of(values: Sequence[str]) -> Sampler:
+    """A sampler drawing uniformly from ``values``."""
+    values = list(values)
+    return lambda rng: rng.choice(values)
+
+
+def int_range(low: int, high: int) -> Sampler:
+    """A sampler drawing a decimal integer in [low, high]."""
+    return lambda rng: str(rng.randint(low, high))
+
+
+def words(pool: Sequence[str], low: int, high: int) -> Sampler:
+    """A sampler drawing ``low..high`` space-joined words from ``pool``."""
+    pool = list(pool)
+    return lambda rng: " ".join(rng.choice(pool) for _ in range(rng.randint(low, high)))
+
+
+@dataclass(frozen=True, slots=True)
+class AttributeDecl:
+    """One attribute: name, value sampler, and presence probability."""
+
+    name: str
+    value: Sampler
+    presence: float = 1.0
+
+
+@dataclass(frozen=True, slots=True)
+class Particle:
+    """``(option₁ | option₂ | …){min_count..max_count}`` content term.
+
+    ``recursion_weight`` scales the selection probability of options that
+    can recurse (as declared by the DTD's ``recursive_names``); the
+    effective weight decays as ``recursion_weight ** depth`` so deep
+    nesting becomes progressively rarer, the way IBM's generator keeps
+    recursive DTDs finite.
+    """
+
+    options: tuple[str, ...]
+    min_count: int = 1
+    max_count: int | None = 1
+    recursion_weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.options:
+            raise ValueError("a particle needs at least one option")
+        if self.max_count is not None and self.max_count < self.min_count:
+            raise ValueError("max_count below min_count")
+
+
+@dataclass(frozen=True, slots=True)
+class ElementDecl:
+    """One element type of the DTD."""
+
+    name: str
+    content: tuple[Particle, ...] = ()
+    attributes: tuple[AttributeDecl, ...] = ()
+    text: Sampler | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class Dtd:
+    """The element table and the document root."""
+
+    root: str
+    elements: dict[str, ElementDecl]
+
+    def __post_init__(self) -> None:
+        if self.root not in self.elements:
+            raise ValueError(f"root element {self.root!r} is not declared")
+        for decl in self.elements.values():
+            for particle in decl.content:
+                for option in particle.options:
+                    if option not in self.elements:
+                        raise ValueError(
+                            f"<{decl.name}> references undeclared <{option}>"
+                        )
+
+    def declaration(self, name: str) -> ElementDecl:
+        return self.elements[name]
+
+    def recursive_names(self) -> frozenset[str]:
+        """Element names that can (transitively) contain themselves."""
+        reachable: dict[str, set[str]] = {
+            name: {
+                option
+                for particle in decl.content
+                for option in particle.options
+            }
+            for name, decl in self.elements.items()
+        }
+        # Transitive closure by iteration (element tables are tiny).
+        changed = True
+        while changed:
+            changed = False
+            for name, targets in reachable.items():
+                extra = set()
+                for target in targets:
+                    extra |= reachable[target]
+                if not extra <= targets:
+                    targets |= extra
+                    changed = True
+        return frozenset(name for name, targets in reachable.items() if name in targets)
+
+
+def make_dtd(root: str, declarations: Sequence[ElementDecl]) -> Dtd:
+    """Build a :class:`Dtd` from a list of declarations."""
+    return Dtd(root=root, elements={decl.name: decl for decl in declarations})

@@ -1,0 +1,141 @@
+"""DTD-driven random document generation (the IBM XML Generator stand-in).
+
+:class:`GeneratorConfig` mirrors the two parameters the paper sets on
+IBM's XML Generator — ``number_levels`` (= NumberLevels, the maximum
+document depth; the paper uses 20) and ``max_repeats`` (= MaxRepeats, the
+repetition cap; the paper uses 9) — plus the random seed.
+
+:class:`DtdGenerator` expands a :class:`~repro.datasets.dtd.Dtd` into a
+stream of modified-SAX events, **without materialising the document**:
+the generator is itself a streaming source, so arbitrarily large corpora
+cost constant memory.  Node ids are assigned in document order, matching
+the tokenizer's numbering, so results computed over generated events and
+over the serialized file agree.
+
+Termination with recursive DTDs: an option that can recurse is selected
+with weight ``recursion_weight ** depth`` (see
+:class:`~repro.datasets.dtd.Particle`), and expansion is hard-capped at
+``number_levels`` — at the cap, element children are skipped entirely
+(the IBM generator's NumberLevels behaves the same way).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.datasets.dtd import Dtd, ElementDecl
+from repro.stream.events import Characters, EndElement, Event, StartElement
+
+
+@dataclass(frozen=True, slots=True)
+class GeneratorConfig:
+    """Knobs of the generator, named after IBM XML Generator parameters."""
+
+    seed: int = 42
+    number_levels: int = 20
+    max_repeats: int = 9
+
+
+class DtdGenerator:
+    """Expands a DTD into random modified-SAX event streams."""
+
+    def __init__(self, dtd: Dtd, config: GeneratorConfig | None = None):
+        self._dtd = dtd
+        self._config = config if config is not None else GeneratorConfig()
+        self._recursive = dtd.recursive_names()
+
+    @property
+    def config(self) -> GeneratorConfig:
+        return self._config
+
+    def events(self) -> Iterator[Event]:
+        """One random document (a fresh RNG seeded from the config)."""
+        rng = random.Random(self._config.seed)
+        counter = _Counter()
+        yield from self._expand(self._dtd.root, 1, rng, counter)
+
+    def forest_events(self, wrapper: str, count: int) -> Iterator[Event]:
+        """``count`` random roots under a synthetic ``wrapper`` element.
+
+        This is how multi-record corpora are built (e.g. a ``bib`` of many
+        ``book``s): each record draws fresh randomness from one seeded RNG,
+        so the corpus is reproducible yet heterogeneous.
+        """
+        rng = random.Random(self._config.seed)
+        counter = _Counter()
+        yield StartElement(wrapper, 1, counter.next_id(), {})
+        for _ in range(count):
+            yield from self._expand(self._dtd.root, 2, rng, counter)
+        yield EndElement(wrapper, 1)
+
+    # -- expansion ---------------------------------------------------------
+
+    def _expand(
+        self, name: str, level: int, rng: random.Random, counter: "_Counter"
+    ) -> Iterator[Event]:
+        decl = self._dtd.declaration(name)
+        attributes = self._sample_attributes(decl, rng)
+        yield StartElement(name, level, counter.next_id(), attributes)
+        if decl.text is not None:
+            yield Characters(decl.text(rng), level)
+        if level < self._config.number_levels:
+            for particle in decl.content:
+                cap = particle.max_count
+                if cap is None:
+                    cap = self._config.max_repeats
+                count = rng.randint(particle.min_count, cap)
+                for _ in range(count):
+                    option = self._choose_option(particle, level, rng)
+                    if option is not None:
+                        yield from self._expand(option, level + 1, rng, counter)
+        yield EndElement(name, level)
+
+    def _choose_option(self, particle, level: int, rng: random.Random) -> str | None:
+        """Pick an option, decaying recursive alternatives with depth.
+
+        Recursive options carry weight ``recursion_weight ** level``
+        against 1.0 for non-recursive siblings.  When *every* option is
+        recursive the decay instead acts as an acceptance probability, so
+        purely-recursive particles (``section*``) still dampen with depth.
+        """
+        options = particle.options
+        decay = particle.recursion_weight
+        if decay >= 1.0:
+            return options[0] if len(options) == 1 else rng.choice(options)
+        recursive = [option in self._recursive for option in options]
+        if all(recursive):
+            if rng.random() >= decay ** level:
+                return None
+            return options[0] if len(options) == 1 else rng.choice(options)
+        weights = [decay ** level if is_rec else 1.0 for is_rec in recursive]
+        pick = rng.random() * sum(weights)
+        acc = 0.0
+        for option, weight in zip(options, weights):
+            acc += weight
+            if pick <= acc:
+                return option
+        return options[-1]
+
+    @staticmethod
+    def _sample_attributes(decl: ElementDecl, rng: random.Random) -> dict[str, str]:
+        attributes: dict[str, str] = {}
+        for attr in decl.attributes:
+            if attr.presence >= 1.0 or rng.random() < attr.presence:
+                attributes[attr.name] = attr.value(rng)
+        return attributes
+
+
+class _Counter:
+    """Document-order node id assignment."""
+
+    __slots__ = ("_next",)
+
+    def __init__(self) -> None:
+        self._next = 1
+
+    def next_id(self) -> int:
+        node_id = self._next
+        self._next += 1
+        return node_id

@@ -1,0 +1,158 @@
+"""The Protein corpus: large, flat, non-recursive real-data stand-in.
+
+The paper's third dataset is the Georgetown Protein Information Resource
+Protein Sequence Database [15] — 75MB of many small, shallow, regular
+``ProteinEntry`` records.  The experiments use it purely as the *large,
+non-recursive* corpus, where streaming engines must shine on raw
+throughput and DOM loaders exhaust memory (XMLTaskForce fails on it in
+figure 8(c)).  The generator below reproduces that structural profile
+with the published element vocabulary of the real database.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.datasets.dtd import (
+    AttributeDecl,
+    Dtd,
+    ElementDecl,
+    Particle,
+    choice_of,
+    int_range,
+    make_dtd,
+    words,
+)
+from repro.datasets.generator import DtdGenerator, GeneratorConfig
+from repro.stream.events import Event
+
+_ORGANISMS = (
+    "Homo sapiens", "Mus musculus", "Escherichia coli",
+    "Saccharomyces cerevisiae", "Drosophila melanogaster",
+    "Arabidopsis thaliana", "Rattus norvegicus",
+)
+
+_KEYWORDS = (
+    "kinase", "transferase", "membrane", "hydrolase", "transport",
+    "binding", "receptor", "oxidoreductase", "ribosomal", "polymerase",
+    "zinc", "heme", "ATP", "signal", "transcription",
+)
+
+_AUTHORS = (
+    "Barker, W.C.", "Garavelli, J.S.", "Huang, H.", "McGarvey, P.B.",
+    "Orcutt, B.C.", "Srinivasarao, G.Y.", "Xiao, C.", "Yeh, L.S.",
+)
+
+_RESIDUES = "ACDEFGHIKLMNPQRSTVWY"
+
+
+def _sequence(rng) -> str:
+    return "".join(rng.choice(_RESIDUES) for _ in range(rng.randint(60, 240)))
+
+
+#: Shallow documents: entries bottom out around depth 7.
+DEFAULT_CONFIG = GeneratorConfig(seed=15, number_levels=8, max_repeats=4)
+
+
+def protein_dtd() -> Dtd:
+    """The ProteinEntry content model (PIR-PSD element vocabulary)."""
+    return make_dtd(
+        "ProteinEntry",
+        [
+            ElementDecl(
+                "ProteinEntry",
+                content=(
+                    Particle(("header",)),
+                    Particle(("protein",)),
+                    Particle(("organism",)),
+                    Particle(("reference",), 1, 4),
+                    Particle(("classification",), 0, 1),
+                    Particle(("keywords",), 0, 1),
+                    Particle(("summary",)),
+                    Particle(("sequence",)),
+                ),
+                attributes=(AttributeDecl("id", int_range(1, 300_000)),),
+            ),
+            ElementDecl(
+                "header",
+                content=(
+                    Particle(("uid",)),
+                    Particle(("accession",), 1, 3),
+                    Particle(("created_date",)),
+                    Particle(("seq-rev_date",)),
+                ),
+            ),
+            ElementDecl("uid", text=words(_KEYWORDS, 1, 1)),
+            ElementDecl("accession", text=int_range(100_000, 999_999)),
+            ElementDecl("created_date", text=int_range(1985, 2001)),
+            ElementDecl("seq-rev_date", text=int_range(1990, 2001)),
+            ElementDecl(
+                "protein",
+                content=(Particle(("name",)), Particle(("alt-name",), 0, 2)),
+            ),
+            ElementDecl("name", text=words(_KEYWORDS, 2, 4)),
+            ElementDecl("alt-name", text=words(_KEYWORDS, 2, 4)),
+            ElementDecl(
+                "organism",
+                content=(
+                    Particle(("source",)),
+                    Particle(("common",), 0, 1),
+                    Particle(("formal",)),
+                ),
+            ),
+            ElementDecl("source", text=choice_of(_ORGANISMS)),
+            ElementDecl("common", text=choice_of(("human", "mouse", "yeast", "rat"))),
+            ElementDecl("formal", text=choice_of(_ORGANISMS)),
+            ElementDecl(
+                "reference",
+                content=(Particle(("refinfo",)), Particle(("accinfo",), 0, 1)),
+            ),
+            ElementDecl(
+                "refinfo",
+                content=(
+                    Particle(("authors",)),
+                    Particle(("citation",)),
+                    Particle(("year",)),
+                    Particle(("title",)),
+                ),
+                attributes=(AttributeDecl("refid", int_range(1, 999_999)),),
+            ),
+            ElementDecl("authors", content=(Particle(("author",), 1, 4),)),
+            ElementDecl("author", text=choice_of(_AUTHORS)),
+            ElementDecl(
+                "citation",
+                text=words(_KEYWORDS, 3, 6),
+                attributes=(AttributeDecl("volume", int_range(1, 400), presence=0.8),),
+            ),
+            ElementDecl("year", text=int_range(1980, 2001)),
+            ElementDecl("title", text=words(_KEYWORDS, 4, 9)),
+            ElementDecl(
+                "accinfo",
+                content=(Particle(("mol-type",), 0, 1),),
+                attributes=(AttributeDecl("acc", int_range(100_000, 999_999)),),
+            ),
+            ElementDecl("mol-type", text=choice_of(("DNA", "mRNA", "protein"))),
+            ElementDecl(
+                "classification",
+                content=(Particle(("superfamily",), 1, 2),),
+            ),
+            ElementDecl("superfamily", text=words(_KEYWORDS, 2, 3)),
+            ElementDecl("keywords", content=(Particle(("keyword",), 1, 5),)),
+            ElementDecl("keyword", text=choice_of(_KEYWORDS)),
+            ElementDecl(
+                "summary",
+                content=(Particle(("length",)), Particle(("type",))),
+            ),
+            ElementDecl("length", text=int_range(60, 240)),
+            ElementDecl("type", text=choice_of(("complete", "fragment"))),
+            ElementDecl("sequence", text=_sequence),
+        ],
+    )
+
+
+def protein_events(
+    n_entries: int = 500, config: GeneratorConfig = DEFAULT_CONFIG
+) -> Iterator[Event]:
+    """A ``ProteinDatabase`` wrapping ``n_entries`` random entries."""
+    generator = DtdGenerator(protein_dtd(), config)
+    return generator.forest_events("ProteinDatabase", n_entries)

@@ -1,0 +1,94 @@
+"""Dataset feature statistics — the Figure 5 table of the paper.
+
+Figure 5 characterises each corpus by size, element count, depth, and —
+the property the whole paper turns on — whether the data is *recursive*
+(some tag repeats along a root-to-leaf path).  :func:`collect_stats`
+computes all of it in one streaming pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.stream.events import Characters, EndElement, Event, StartElement
+from repro.stream.writer import escape_attribute, escape_text
+
+
+@dataclass(frozen=True, slots=True)
+class DatasetStats:
+    """One row of the Figure 5 table."""
+
+    size_bytes: int
+    elements: int
+    attributes: int
+    text_bytes: int
+    max_depth: int
+    distinct_tags: int
+    recursive: bool
+    #: Tags observed repeating along some root-to-leaf path.
+    recursive_tags: frozenset[str]
+
+    @property
+    def size_mb(self) -> float:
+        return self.size_bytes / (1024 * 1024)
+
+    def row(self, name: str) -> dict[str, object]:
+        """A printable table row, shaped like the paper's figure 5."""
+        return {
+            "dataset": name,
+            "size(MB)": round(self.size_mb, 2),
+            "elements": self.elements,
+            "attributes": self.attributes,
+            "max depth": self.max_depth,
+            "tags": self.distinct_tags,
+            "recursive": "yes" if self.recursive else "no",
+        }
+
+
+def collect_stats(events: Iterable[Event]) -> DatasetStats:
+    """Single-pass dataset feature collection.
+
+    ``size_bytes`` is the serialized size of the stream (computed from
+    the same escaping rules as :mod:`repro.stream.writer`, without
+    materialising the text).
+    """
+    size = 0
+    elements = 0
+    attributes = 0
+    text_bytes = 0
+    max_depth = 0
+    tags: set[str] = set()
+    recursive_tags: set[str] = set()
+    path_counts: dict[str, int] = {}
+    for event in events:
+        if isinstance(event, StartElement):
+            elements += 1
+            tags.add(event.tag)
+            if event.level > max_depth:
+                max_depth = event.level
+            seen = path_counts.get(event.tag, 0)
+            if seen:
+                recursive_tags.add(event.tag)
+            path_counts[event.tag] = seen + 1
+            attributes += len(event.attributes)
+            size += 2 + len(event.tag)  # <tag>
+            for name, value in event.attributes.items():
+                size += 4 + len(name) + len(escape_attribute(value))
+        elif isinstance(event, EndElement):
+            path_counts[event.tag] -= 1
+            size += 3 + len(event.tag)  # </tag>
+        elif isinstance(event, Characters):
+            escaped = len(escape_text(event.text))
+            size += escaped
+            text_bytes += escaped
+    return DatasetStats(
+        size_bytes=size,
+        elements=elements,
+        attributes=attributes,
+        text_bytes=text_bytes,
+        max_depth=max_depth,
+        distinct_tags=len(tags),
+        recursive=bool(recursive_tags),
+        recursive_tags=frozenset(recursive_tags),
+    )

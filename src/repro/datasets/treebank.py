@@ -1,0 +1,98 @@
+"""A Treebank-style corpus: extreme recursion (stress extension).
+
+The paper's recursive corpus (Book) nests one tag (`section`) to depth
+~20.  The classic stress corpus for recursive XML is the Penn Treebank
+conversion — parse trees where *many* tags (`S`, `NP`, `VP`, `SBAR`, …)
+repeat along paths and depths reach the mid-thirties.  The original is
+licence-encumbered; this generator reproduces its structural profile
+with a small probabilistic phrase-structure grammar:
+
+* sentences (`S`) expand into noun/verb phrases that re-embed clauses
+  (`SBAR → S`), giving multi-tag recursion;
+* depth is controlled by the grammar's decay and the generator's
+  ``number_levels`` cap;
+* leaves are part-of-speech tags (`NN`, `VB`, `DT`, …) holding words.
+
+Useful wherever the Book corpus's single-tag recursion is too tame:
+worst-case multi-match behaviour with several recursive tags at once.
+This corpus is an *extension* — no paper figure uses it — and feeds the
+deep-recursion ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.datasets.dtd import Dtd, ElementDecl, Particle, choice_of, make_dtd
+from repro.datasets.generator import DtdGenerator, GeneratorConfig
+from repro.stream.events import Event
+
+_NOUNS = ("time", "query", "stream", "tree", "match", "parser", "stack")
+_VERBS = ("scans", "matches", "emits", "prunes", "folds", "buffers")
+_DETS = ("the", "a", "every", "some")
+_ADJS = ("fast", "lazy", "deep", "recursive", "compact")
+_PREPS = ("of", "over", "within", "without")
+
+#: Depth-rich defaults: treebank trees run much deeper than Book's.
+DEFAULT_CONFIG = GeneratorConfig(seed=86, number_levels=36, max_repeats=3)
+
+#: Decay for the re-embedding alternatives; lower = shallower corpora.
+#: 0.97 reaches depth ~31 at 200 sentences — real Treebank territory.
+CLAUSE_WEIGHT = 0.97
+
+
+def treebank_dtd(clause_weight: float = CLAUSE_WEIGHT) -> Dtd:
+    """A probabilistic phrase-structure grammar as a content model."""
+    return make_dtd(
+        "S",
+        [
+            ElementDecl(
+                "S",
+                content=(
+                    Particle(("NP",)),
+                    Particle(("VP",)),
+                ),
+            ),
+            ElementDecl(
+                "NP",
+                content=(
+                    Particle(("DT",), 0, 1),
+                    Particle(("JJ",), 0, 2),
+                    Particle(("NN",)),
+                    # Recursive attachments: PP modifiers and relative
+                    # clauses; both re-embed phrase tags.
+                    Particle(("PP", "SBAR"), 0, 1, recursion_weight=clause_weight),
+                ),
+            ),
+            ElementDecl(
+                "VP",
+                content=(
+                    Particle(("VB",)),
+                    Particle(("NP", "PP", "SBAR"), 0, 2, recursion_weight=clause_weight),
+                ),
+            ),
+            ElementDecl(
+                "PP",
+                content=(Particle(("IN",)), Particle(("NP",))),
+            ),
+            ElementDecl(
+                "SBAR",
+                content=(Particle(("S",),),),
+            ),
+            ElementDecl("DT", text=choice_of(_DETS)),
+            ElementDecl("JJ", text=choice_of(_ADJS)),
+            ElementDecl("NN", text=choice_of(_NOUNS)),
+            ElementDecl("VB", text=choice_of(_VERBS)),
+            ElementDecl("IN", text=choice_of(_PREPS)),
+        ],
+    )
+
+
+def treebank_events(
+    n_sentences: int = 200,
+    config: GeneratorConfig = DEFAULT_CONFIG,
+    clause_weight: float = CLAUSE_WEIGHT,
+) -> Iterator[Event]:
+    """A ``corpus`` of ``n_sentences`` random parse trees."""
+    generator = DtdGenerator(treebank_dtd(clause_weight), config)
+    return generator.forest_events("corpus", n_sentences)

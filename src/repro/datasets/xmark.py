@@ -1,0 +1,309 @@
+"""The Benchmark corpus: an XMark-style auction site (second dataset).
+
+The paper's second dataset comes from the XMark benchmark generator [31]
+with its default auction DTD.  The original binary is unavailable; this
+module declares the auction DTD's element vocabulary and structure for
+our DTD-driven generator, preserving what the experiments use:
+
+* the **standard element names** (`site`, `regions`, `people`, `person`,
+  `open_auction`, `closed_auction`, `item`, `annotation`, `keyword`, …)
+  so XMark-derived benchmark queries run unchanged;
+* **mostly non-recursive** structure with one contained recursion —
+  ``parlist/listitem`` inside rich-text descriptions — mirroring the real
+  DTD (XMark data is "shallowly recursive" compared to Book);
+* wide fan-out: many small sibling records under a few hubs.
+
+``scale`` multiplies the record counts the way XMark's ``-f`` factor
+scales its output size.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.datasets.dtd import (
+    AttributeDecl,
+    Dtd,
+    ElementDecl,
+    Particle,
+    choice_of,
+    int_range,
+    make_dtd,
+    words,
+)
+from repro.datasets.generator import DtdGenerator, GeneratorConfig
+from repro.stream.events import Event
+
+_WORDS = (
+    "auction", "bid", "item", "seller", "reserve", "ship", "category",
+    "gold", "silver", "antique", "rare", "mint", "vintage", "lot",
+    "estate", "auctioneer", "gavel", "provenance", "appraisal", "bidder",
+)
+
+_CITIES = ("Lisbon", "Osaka", "Quito", "Tunis", "Perth", "Oslo", "Lima")
+_COUNTRIES = ("Portugal", "Japan", "Ecuador", "Tunisia", "Australia", "Norway", "Peru")
+_NAMES = ("Ayo", "Mei", "Sven", "Lucia", "Tariq", "Nadia", "Piotr", "Ines")
+
+#: Default generator settings for the auction corpus (non-recursive
+#: except parlist, so NumberLevels only guards the rich-text nesting).
+DEFAULT_CONFIG = GeneratorConfig(seed=31, number_levels=16, max_repeats=4)
+
+_PARLIST_WEIGHT = 0.9
+
+
+def _scaled(count: int, scale: float) -> int:
+    return max(1, round(count * scale))
+
+
+def xmark_dtd(scale: float = 1.0) -> Dtd:
+    """The auction-site content model at a given scale factor."""
+    text = words(_WORDS, 3, 10)
+    name = choice_of(_NAMES)
+    regions = ("africa", "asia", "australia", "europe", "namerica", "samerica")
+    return make_dtd(
+        "site",
+        [
+            ElementDecl(
+                "site",
+                content=(
+                    Particle(("regions",)),
+                    Particle(("categories",)),
+                    Particle(("people",)),
+                    Particle(("open_auctions",)),
+                    Particle(("closed_auctions",)),
+                ),
+            ),
+            ElementDecl("regions", content=tuple(Particle((r,)) for r in regions)),
+            *[
+                ElementDecl(
+                    region,
+                    content=(
+                        Particle(("item",), _scaled(4, scale), _scaled(10, scale)),
+                    ),
+                )
+                for region in regions
+            ],
+            ElementDecl(
+                "item",
+                content=(
+                    Particle(("location",)),
+                    Particle(("quantity",)),
+                    Particle(("name",)),
+                    Particle(("payment",)),
+                    Particle(("description",)),
+                    Particle(("shipping",)),
+                    Particle(("incategory",), 1, 3),
+                    Particle(("mailbox",)),
+                ),
+                attributes=(AttributeDecl("id", int_range(1, 10_000_000)),),
+            ),
+            ElementDecl("location", text=choice_of(_COUNTRIES)),
+            ElementDecl("quantity", text=int_range(1, 10)),
+            ElementDecl("name", text=words(_WORDS, 2, 4)),
+            ElementDecl("payment", text=choice_of(("Cash", "Check", "Creditcard"))),
+            ElementDecl(
+                "description",
+                content=(Particle(("text", "parlist"),),),
+            ),
+            ElementDecl("text", text=words(_WORDS, 6, 18)),
+            ElementDecl(
+                "parlist",
+                content=(
+                    Particle(
+                        ("listitem",), 1, 3, recursion_weight=_PARLIST_WEIGHT
+                    ),
+                ),
+            ),
+            ElementDecl(
+                "listitem",
+                content=(
+                    Particle(
+                        ("text", "parlist"), 1, 1, recursion_weight=_PARLIST_WEIGHT
+                    ),
+                ),
+            ),
+            ElementDecl("shipping", text=choice_of(("Will ship only within country", "Will ship internationally"))),
+            ElementDecl(
+                "incategory",
+                attributes=(AttributeDecl("category", int_range(1, 1000)),),
+            ),
+            ElementDecl("mailbox", content=(Particle(("mail",), 0, 2),)),
+            ElementDecl(
+                "mail",
+                content=(
+                    Particle(("from",)),
+                    Particle(("to",)),
+                    Particle(("date",)),
+                    Particle(("text",)),
+                ),
+            ),
+            ElementDecl("from", text=name),
+            ElementDecl("to", text=name),
+            ElementDecl("date", text=int_range(1999, 2006)),
+            ElementDecl(
+                "categories",
+                content=(Particle(("category",), _scaled(5, scale), _scaled(10, scale)),),
+            ),
+            ElementDecl(
+                "category",
+                content=(Particle(("name",)), Particle(("description",))),
+                attributes=(AttributeDecl("id", int_range(1, 1000)),),
+            ),
+            ElementDecl(
+                "people",
+                content=(Particle(("person",), _scaled(10, scale), _scaled(25, scale)),),
+            ),
+            ElementDecl(
+                "person",
+                content=(
+                    Particle(("name",)),
+                    Particle(("emailaddress",)),
+                    Particle(("phone",), 0, 1),
+                    Particle(("address",), 0, 1),
+                    Particle(("creditcard",), 0, 1),
+                    Particle(("profile",), 0, 1),
+                    Particle(("watches",), 0, 1),
+                ),
+                attributes=(AttributeDecl("id", int_range(1, 10_000_000)),),
+            ),
+            ElementDecl("emailaddress", text=words(_WORDS, 1, 1)),
+            ElementDecl("phone", text=int_range(1_000_000, 9_999_999)),
+            ElementDecl(
+                "address",
+                content=(
+                    Particle(("street",)),
+                    Particle(("city",)),
+                    Particle(("country",)),
+                    Particle(("zipcode",)),
+                ),
+            ),
+            ElementDecl("street", text=words(_WORDS, 2, 3)),
+            ElementDecl("city", text=choice_of(_CITIES)),
+            ElementDecl("country", text=choice_of(_COUNTRIES)),
+            ElementDecl("zipcode", text=int_range(10_000, 99_999)),
+            ElementDecl("creditcard", text=int_range(10 ** 15, 10 ** 16 - 1)),
+            ElementDecl(
+                "profile",
+                content=(
+                    Particle(("interest",), 0, 3),
+                    Particle(("education",), 0, 1),
+                    Particle(("gender",), 0, 1),
+                    Particle(("business",)),
+                    Particle(("age",), 0, 1),
+                ),
+                attributes=(AttributeDecl("income", int_range(9_000, 120_000)),),
+            ),
+            ElementDecl(
+                "interest",
+                attributes=(AttributeDecl("category", int_range(1, 1000)),),
+            ),
+            ElementDecl("education", text=choice_of(("High School", "College", "Graduate School"))),
+            ElementDecl("gender", text=choice_of(("male", "female"))),
+            ElementDecl("business", text=choice_of(("Yes", "No"))),
+            ElementDecl("age", text=int_range(18, 90)),
+            ElementDecl(
+                "watches",
+                content=(Particle(("watch",), 1, 3),),
+            ),
+            ElementDecl(
+                "watch",
+                attributes=(AttributeDecl("open_auction", int_range(1, 10_000)),),
+            ),
+            ElementDecl(
+                "open_auctions",
+                content=(
+                    Particle(("open_auction",), _scaled(8, scale), _scaled(20, scale)),
+                ),
+            ),
+            ElementDecl(
+                "open_auction",
+                content=(
+                    Particle(("initial",)),
+                    Particle(("reserve",), 0, 1),
+                    Particle(("bidder",), 0, 5),
+                    Particle(("current",)),
+                    Particle(("itemref",)),
+                    Particle(("seller",)),
+                    Particle(("annotation",)),
+                    Particle(("quantity",)),
+                    Particle(("type",)),
+                    Particle(("interval",)),
+                ),
+                attributes=(AttributeDecl("id", int_range(1, 10_000)),),
+            ),
+            ElementDecl("initial", text=int_range(1, 300)),
+            ElementDecl("reserve", text=int_range(50, 900)),
+            ElementDecl(
+                "bidder",
+                content=(
+                    Particle(("date",)),
+                    Particle(("time",)),
+                    Particle(("personref",)),
+                    Particle(("increase",)),
+                ),
+            ),
+            ElementDecl("time", text=choice_of(("09:14:02", "13:30:55", "21:07:41"))),
+            ElementDecl(
+                "personref",
+                attributes=(AttributeDecl("person", int_range(1, 10_000)),),
+            ),
+            ElementDecl("increase", text=int_range(1, 50)),
+            ElementDecl("current", text=int_range(1, 1200)),
+            ElementDecl(
+                "itemref",
+                attributes=(AttributeDecl("item", int_range(1, 10_000)),),
+            ),
+            ElementDecl(
+                "seller",
+                attributes=(AttributeDecl("person", int_range(1, 10_000)),),
+            ),
+            ElementDecl(
+                "annotation",
+                content=(
+                    Particle(("author",)),
+                    Particle(("description",)),
+                    Particle(("happiness",)),
+                ),
+            ),
+            ElementDecl(
+                "author",
+                attributes=(AttributeDecl("person", int_range(1, 10_000)),),
+            ),
+            ElementDecl("happiness", text=int_range(1, 10)),
+            ElementDecl("interval", content=(Particle(("start",)), Particle(("end",)))),
+            ElementDecl("start", text=int_range(1999, 2005)),
+            ElementDecl("end", text=int_range(2000, 2006)),
+            ElementDecl("type", text=choice_of(("Regular", "Featured", "Dutch"))),
+            ElementDecl(
+                "closed_auctions",
+                content=(
+                    Particle(("closed_auction",), _scaled(8, scale), _scaled(20, scale)),
+                ),
+            ),
+            ElementDecl(
+                "closed_auction",
+                content=(
+                    Particle(("seller",)),
+                    Particle(("buyer",)),
+                    Particle(("itemref",)),
+                    Particle(("price",)),
+                    Particle(("date",)),
+                    Particle(("quantity",)),
+                    Particle(("type",)),
+                    Particle(("annotation",)),
+                ),
+            ),
+            ElementDecl(
+                "buyer",
+                attributes=(AttributeDecl("person", int_range(1, 10_000)),),
+            ),
+            ElementDecl("price", text=int_range(1, 1500)),
+        ],
+    )
+
+
+def xmark_events(
+    scale: float = 1.0, config: GeneratorConfig = DEFAULT_CONFIG
+) -> Iterator[Event]:
+    """One auction-site document at the given scale factor."""
+    return DtdGenerator(xmark_dtd(scale), config).events()

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one type at an API boundary.  Subsystems refine it:
+
+* :class:`XmlSyntaxError` — malformed XML encountered by a parser.
+* :class:`XPathSyntaxError` — a query string that does not parse.
+* :class:`UnsupportedQueryError` — a *valid* query outside the fragment an
+  engine supports (e.g. a predicate handed to the lazy-DFA engine).
+* :class:`StreamStateError` — an event sequence that violates the
+  well-nesting discipline (end without matching start, events after the
+  document closed, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class XmlSyntaxError(ReproError):
+    """Malformed XML input.
+
+    Carries the (1-based) ``line`` and ``column`` of the offending input
+    position when the parser can determine them.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}" + (f", column {column}" if column is not None else "")
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class XPathSyntaxError(ReproError):
+    """A query string that is not valid XP{/,//,*,[]} syntax.
+
+    Carries the character ``position`` within the query text when known.
+    """
+
+    def __init__(self, message: str, position: int | None = None):
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class UnsupportedQueryError(ReproError):
+    """A well-formed query that the target engine's fragment excludes."""
+
+
+class StreamStateError(ReproError):
+    """An event sequence violating well-nesting or lifecycle rules."""

@@ -1,0 +1,83 @@
+"""XML streaming substrate: events, parsers, in-memory trees, serialization.
+
+This package implements everything below the query engines:
+
+* :mod:`repro.stream.events` — the paper's modified-SAX event model.
+* :mod:`repro.stream.tokenizer` — pure-Python incremental XML tokenizer.
+* :mod:`repro.stream.expat_source` — Expat-backed event source (the
+  parser the paper's implementation used).
+* :mod:`repro.stream.document` — in-memory DOM for non-streaming engines.
+* :mod:`repro.stream.writer` — serialization back to XML text.
+"""
+
+from repro.stream.document import Document, Element, build_document
+from repro.stream.events import (
+    Characters,
+    EndElement,
+    Event,
+    EventStream,
+    StartElement,
+    count_elements,
+    document_depth,
+    validate_events,
+)
+from repro.stream.namespaces import (
+    XML_NAMESPACE,
+    clark,
+    resolve_namespaces,
+    split_clark,
+    translate_name,
+)
+from repro.stream.expat_source import (
+    ExpatSource,
+    expat_parse_chunks,
+    expat_parse_file,
+    expat_parse_string,
+)
+from repro.stream.tokenizer import (
+    XmlTokenizer,
+    events_from,
+    parse_chunks,
+    parse_file,
+    parse_string,
+)
+from repro.stream.writer import (
+    document_to_string,
+    element_to_string,
+    events_to_string,
+    write_events,
+    write_file,
+)
+
+__all__ = [
+    "XML_NAMESPACE",
+    "clark",
+    "resolve_namespaces",
+    "split_clark",
+    "translate_name",
+    "Characters",
+    "Document",
+    "Element",
+    "EndElement",
+    "Event",
+    "EventStream",
+    "ExpatSource",
+    "StartElement",
+    "XmlTokenizer",
+    "build_document",
+    "count_elements",
+    "document_depth",
+    "document_to_string",
+    "element_to_string",
+    "events_from",
+    "events_to_string",
+    "expat_parse_chunks",
+    "expat_parse_file",
+    "expat_parse_string",
+    "parse_chunks",
+    "parse_file",
+    "parse_string",
+    "validate_events",
+    "write_events",
+    "write_file",
+]

@@ -1,0 +1,165 @@
+"""In-memory XML tree — the substrate for the non-streaming baselines.
+
+The paper contrasts streaming engines with main-memory engines (Galax,
+XMLTaskForce) that load the *entire* document before query evaluation and
+then navigate it randomly.  This module provides that substrate: a small
+DOM — :class:`Document` / :class:`Element` — plus a builder from
+modified-SAX events and navigation helpers (children, descendants,
+string-value) the baselines use.
+
+Elements keep the same pre-order ``node_id`` the event stream assigns, so
+result sets from streaming and main-memory engines are directly
+comparable in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import StreamStateError
+from repro.stream.events import Characters, EndElement, Event, StartElement
+
+
+@dataclass(slots=True)
+class Element:
+    """One XML element with attributes, text runs, and children."""
+
+    tag: str
+    level: int
+    node_id: int
+    attributes: Mapping[str, str]
+    parent: "Element | None" = None
+    children: list["Element"] = field(default_factory=list)
+    #: Direct text runs (not descendants'), in document order.
+    text_runs: list[str] = field(default_factory=list)
+
+    @property
+    def text(self) -> str:
+        """Concatenation of the element's *direct* text runs."""
+        return "".join(self.text_runs)
+
+    def string_value(self) -> str:
+        """XPath string-value: all descendant text in document order."""
+        parts: list[str] = []
+        self._collect_text(parts)
+        return "".join(parts)
+
+    def _collect_text(self, parts: list[str]) -> None:
+        # Direct text runs and child subtrees interleave in document
+        # order; for string-value the order among text-only parts does not
+        # change comparisons we support, but we preserve it anyway by
+        # replaying the recorded order.
+        for piece in self._ordered_content:
+            if isinstance(piece, str):
+                parts.append(piece)
+            else:
+                piece._collect_text(parts)
+
+    #: Interleaved content (text runs and child elements) in document
+    #: order; maintained by the builder.
+    _ordered_content: list["str | Element"] = field(default_factory=list)
+
+    def iter_descendants(self) -> Iterator["Element"]:
+        """Yield descendants (not self) in document order."""
+        for child in self.children:
+            yield child
+            yield from child.iter_descendants()
+
+    def iter_subtree(self) -> Iterator["Element"]:
+        """Yield self then descendants in document order."""
+        yield self
+        yield from self.iter_descendants()
+
+    def find_children(self, tag: str) -> list["Element"]:
+        """Direct children with the given tag ('*' matches any)."""
+        if tag == "*":
+            return list(self.children)
+        return [child for child in self.children if child.tag == tag]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Element({self.tag!r}, id={self.node_id}, level={self.level})"
+
+
+@dataclass(slots=True)
+class Document:
+    """A parsed XML document rooted at :attr:`root`."""
+
+    root: Element
+
+    def iter_elements(self) -> Iterator[Element]:
+        """All elements in document (pre-)order."""
+        return self.root.iter_subtree()
+
+    def element_count(self) -> int:
+        """Number of elements in the document."""
+        return sum(1 for _ in self.iter_elements())
+
+    def depth(self) -> int:
+        """Maximum element depth (document element = 1)."""
+        return max(element.level for element in self.iter_elements())
+
+    def element_by_id(self, node_id: int) -> Element | None:
+        """Look up an element by its pre-order id (linear scan)."""
+        for element in self.iter_elements():
+            if element.node_id == node_id:
+                return element
+        return None
+
+    def to_events(self, include_text: bool = True) -> Iterator[Event]:
+        """Replay the document as a modified-SAX event stream."""
+        yield from _element_events(self.root, include_text)
+
+
+def _element_events(element: Element, include_text: bool) -> Iterator[Event]:
+    yield StartElement(element.tag, element.level, element.node_id, element.attributes)
+    for piece in element._ordered_content:
+        if isinstance(piece, str):
+            if include_text:
+                yield Characters(piece, element.level)
+        else:
+            yield from _element_events(piece, include_text)
+    yield EndElement(element.tag, element.level)
+
+
+def build_document(events: Iterable[Event]) -> Document:
+    """Materialise a :class:`Document` from a modified-SAX event stream.
+
+    Raises :class:`~repro.errors.StreamStateError` on ill-nested input.
+    """
+    root: Element | None = None
+    stack: list[Element] = []
+    for event in events:
+        if isinstance(event, StartElement):
+            element = Element(
+                tag=event.tag,
+                level=event.level,
+                node_id=event.node_id,
+                attributes=dict(event.attributes),
+                parent=stack[-1] if stack else None,
+            )
+            if stack:
+                stack[-1].children.append(element)
+                stack[-1]._ordered_content.append(element)
+            elif root is None:
+                root = element
+            else:
+                raise StreamStateError("multiple document elements")
+            stack.append(element)
+        elif isinstance(event, EndElement):
+            if not stack or stack[-1].tag != event.tag:
+                open_tag = stack[-1].tag if stack else None
+                raise StreamStateError(
+                    f"end </{event.tag}> does not match open <{open_tag}>"
+                )
+            stack.pop()
+        elif isinstance(event, Characters):
+            if not stack:
+                raise StreamStateError("character data outside the document element")
+            stack[-1].text_runs.append(event.text)
+            stack[-1]._ordered_content.append(event.text)
+    if stack:
+        raise StreamStateError(f"unclosed element <{stack[-1].tag}>")
+    if root is None:
+        raise StreamStateError("empty event stream")
+    return Document(root)

@@ -1,0 +1,151 @@
+"""The modified-SAX event model of the paper (section 2).
+
+XML data is modelled as a stream of events.  Relative to plain SAX, the
+paper's *modified* SAX events additionally carry:
+
+* ``level`` — the depth of the node in the XML tree (the document element
+  is at level 1), and
+* ``id`` — a unique identifier for the node; we use the node's pre-order
+  position in the document, which is also what gives candidates a stable,
+  comparable identity.
+
+Three event kinds exist:
+
+* :class:`StartElement` ``(tag, level, id, attributes)``
+* :class:`Characters` ``(text, level)`` — text content at the current depth
+* :class:`EndElement` ``(tag, level)``
+
+Attribute support follows footnote 2 of the paper: the implementation
+supports attributes as well as elements, so :class:`StartElement` carries
+an attribute mapping.
+
+Event objects are plain frozen dataclasses (``__slots__`` enabled) so that
+streams of millions of events stay cheap; engines dispatch on the concrete
+class rather than an enum tag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Union
+
+from repro.errors import StreamStateError
+
+#: Attribute mappings are plain string-to-string dictionaries.
+Attributes = Mapping[str, str]
+
+_EMPTY_ATTRIBUTES: dict[str, str] = {}
+
+
+@dataclass(frozen=True, slots=True)
+class StartElement:
+    """``startElement(tag, level, id)`` of the paper, plus attributes."""
+
+    tag: str
+    level: int
+    node_id: int
+    attributes: Attributes = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        attrs = "".join(f' {k}="{v}"' for k, v in self.attributes.items())
+        return f"<{self.tag}{attrs}> (level={self.level}, id={self.node_id})"
+
+
+@dataclass(frozen=True, slots=True)
+class Characters:
+    """A run of character data directly inside the current element."""
+
+    text: str
+    level: int
+
+    def __str__(self) -> str:
+        return f"chars({self.text!r}, level={self.level})"
+
+
+@dataclass(frozen=True, slots=True)
+class EndElement:
+    """``endElement(tag, level)`` of the paper."""
+
+    tag: str
+    level: int
+
+    def __str__(self) -> str:
+        return f"</{self.tag}> (level={self.level})"
+
+
+#: Any of the three event kinds.
+Event = Union[StartElement, Characters, EndElement]
+
+#: An event source is any iterable of events; engines accept this type.
+EventStream = Iterable[Event]
+
+
+def validate_events(events: EventStream) -> Iterator[Event]:
+    """Yield ``events`` unchanged while checking well-nesting invariants.
+
+    Raises :class:`~repro.errors.StreamStateError` on the first violation:
+    mismatched tags, wrong levels, characters outside the document, more
+    than one document element, or an unterminated document.
+
+    This is a debugging/testing aid; the engines themselves assume valid
+    streams and do not pay for these checks.
+    """
+    stack: list[tuple[str, int]] = []
+    seen_root = False
+    last_id = 0
+    for event in events:
+        if isinstance(event, StartElement):
+            expected_level = len(stack) + 1
+            if event.level != expected_level:
+                raise StreamStateError(
+                    f"start <{event.tag}> has level {event.level}, expected {expected_level}"
+                )
+            if not stack and seen_root:
+                raise StreamStateError(
+                    f"second document element <{event.tag}>: a document has exactly one root"
+                )
+            if event.node_id <= last_id:
+                raise StreamStateError(
+                    f"node id {event.node_id} for <{event.tag}> does not increase "
+                    f"(previous id {last_id}); ids must follow document order"
+                )
+            last_id = event.node_id
+            seen_root = True
+            stack.append((event.tag, event.level))
+        elif isinstance(event, EndElement):
+            if not stack:
+                raise StreamStateError(f"end </{event.tag}> without any open element")
+            tag, level = stack.pop()
+            if tag != event.tag or level != event.level:
+                raise StreamStateError(
+                    f"end </{event.tag}> (level {event.level}) does not match "
+                    f"open <{tag}> (level {level})"
+                )
+        elif isinstance(event, Characters):
+            if not stack:
+                raise StreamStateError(f"character data {event.text!r} outside the document element")
+            if event.level != len(stack):
+                raise StreamStateError(
+                    f"characters at level {event.level}, expected {len(stack)}"
+                )
+        else:  # pragma: no cover - defensive
+            raise StreamStateError(f"unknown event object {event!r}")
+        yield event
+    if stack:
+        raise StreamStateError(f"document ended with {len(stack)} unclosed element(s)")
+    if not seen_root:
+        raise StreamStateError("empty stream: a document must contain one element")
+
+
+def document_depth(events: EventStream) -> int:
+    """Return the maximum element depth observed in ``events``."""
+    depth = 0
+    for event in events:
+        if isinstance(event, StartElement) and event.level > depth:
+            depth = event.level
+    return depth
+
+
+def count_elements(events: EventStream) -> int:
+    """Return the number of elements in ``events``."""
+    return sum(1 for event in events if isinstance(event, StartElement))

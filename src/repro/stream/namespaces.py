@@ -1,0 +1,164 @@
+"""XML namespace resolution over the modified-SAX event stream.
+
+The paper treats tags as opaque strings (prefixes and all); production
+XML needs namespace awareness.  This module adds it *as a stream
+transformation*, so every engine gets it for free:
+
+* :func:`resolve_namespaces` rewrites an event stream in place:
+  ``xmlns`` / ``xmlns:p`` attribute declarations are interpreted with
+  proper scoping, element names become **Clark notation**
+  (``{uri}local``), prefixed attribute names likewise (per the XML
+  namespaces spec, *unprefixed attributes have no namespace* — they stay
+  bare), and the declaration attributes themselves are dropped.
+* :func:`clark` / :func:`split_clark` build and dissect Clark names.
+* Queries bind prefixes through ``compile_query(..., namespaces={...})``
+  (see :mod:`repro.xpath.querytree`): a prefixed name test ``p:name``
+  compiles to the Clark name, an unprefixed test matches the
+  no-namespace name, exactly XPath 1.0's rule.
+
+Example::
+
+    events = resolve_namespaces(parse_string(xml))
+    repro.evaluate(compile_query("//b:title", namespaces={"b": URI}), events)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import XmlSyntaxError
+from repro.stream.events import EndElement, Event, StartElement
+
+#: The reserved xml prefix is implicitly bound (XML namespaces §3).
+XML_NAMESPACE = "http://www.w3.org/XML/1998/namespace"
+
+
+def clark(uri: "str | None", local: str) -> str:
+    """Build a Clark-notation name: ``{uri}local`` (or bare ``local``)."""
+    if uri:
+        return f"{{{uri}}}{local}"
+    return local
+
+
+def split_clark(name: str) -> tuple["str | None", str]:
+    """Dissect ``{uri}local`` into (uri, local); bare names give (None, name)."""
+    if name.startswith("{"):
+        end = name.find("}")
+        if end == -1:
+            raise ValueError(f"malformed Clark name {name!r}")
+        return name[1:end], name[end + 1:]
+    return None, name
+
+
+class _Scopes:
+    """Prefix bindings with element scoping."""
+
+    def __init__(self) -> None:
+        #: prefix -> list of URIs, innermost last ('' = default namespace).
+        self._bindings: dict[str, list[str]] = {"xml": [XML_NAMESPACE]}
+        #: per-depth record of prefixes declared there (for unwinding).
+        self._declared: list[list[str]] = []
+
+    def push(self, declarations: dict[str, str]) -> None:
+        declared = []
+        for prefix, uri in declarations.items():
+            self._bindings.setdefault(prefix, []).append(uri)
+            declared.append(prefix)
+        self._declared.append(declared)
+
+    def pop(self) -> None:
+        for prefix in self._declared.pop():
+            stack = self._bindings[prefix]
+            stack.pop()
+            if not stack:
+                del self._bindings[prefix]
+
+    def uri(self, prefix: str) -> "str | None":
+        stack = self._bindings.get(prefix)
+        if not stack:
+            return None
+        uri = stack[-1]
+        return uri or None  # xmlns="" undeclares the default namespace
+
+
+def _split_qname(qname: str) -> tuple["str | None", str]:
+    prefix, sep, local = qname.partition(":")
+    if not sep:
+        return None, qname
+    if not prefix or not local or ":" in local:
+        raise XmlSyntaxError(f"malformed qualified name {qname!r}")
+    return prefix, local
+
+
+def resolve_namespaces(events: Iterable[Event]) -> Iterator[Event]:
+    """Rewrite an event stream into namespace-resolved (Clark) names.
+
+    Raises :class:`~repro.errors.XmlSyntaxError` on references to
+    undeclared prefixes.  Characters events pass through untouched.
+    """
+    scopes = _Scopes()
+    for event in events:
+        if isinstance(event, StartElement):
+            declarations: dict[str, str] = {}
+            plain: dict[str, str] = {}
+            for name, value in event.attributes.items():
+                if name == "xmlns":
+                    declarations[""] = value
+                elif name.startswith("xmlns:"):
+                    declarations[name[6:]] = value
+                else:
+                    plain[name] = value
+            scopes.push(declarations)
+            prefix, local = _split_qname(event.tag)
+            if prefix is None:
+                uri = scopes.uri("")
+            else:
+                uri = scopes.uri(prefix)
+                if uri is None:
+                    raise XmlSyntaxError(
+                        f"undeclared namespace prefix {prefix!r} on <{event.tag}>"
+                    )
+            attributes: dict[str, str] = {}
+            for name, value in plain.items():
+                attr_prefix, attr_local = _split_qname(name)
+                if attr_prefix is None:
+                    # Unprefixed attributes are in no namespace.
+                    attributes[attr_local] = value
+                    continue
+                attr_uri = scopes.uri(attr_prefix)
+                if attr_uri is None:
+                    raise XmlSyntaxError(
+                        f"undeclared namespace prefix {attr_prefix!r} "
+                        f"on attribute {name!r}"
+                    )
+                attributes[clark(attr_uri, attr_local)] = value
+            yield StartElement(
+                clark(uri, local), event.level, event.node_id, attributes
+            )
+        elif isinstance(event, EndElement):
+            prefix, local = _split_qname(event.tag)
+            uri = scopes.uri(prefix if prefix is not None else "")
+            scopes.pop()
+            yield EndElement(clark(uri, local), event.level)
+        else:
+            yield event
+
+
+def translate_name(qname: str, namespaces: "dict[str, str] | None") -> str:
+    """Translate a query name test using a prefix→URI binding.
+
+    ``p:name`` becomes ``{uri}name`` (error if ``p`` is unbound);
+    unprefixed names stay bare — XPath 1.0 semantics: they match
+    elements in no namespace.  ``'*'`` passes through.
+    """
+    if qname == "*" or ":" not in qname:
+        return qname
+    prefix, _sep, local = qname.partition(":")
+    if not namespaces or prefix not in namespaces:
+        from repro.errors import XPathSyntaxError
+
+        raise XPathSyntaxError(
+            f"namespace prefix {prefix!r} is not bound; pass "
+            f"namespaces={{{prefix!r}: <uri>}} to compile_query"
+        )
+    return clark(namespaces[prefix], local)

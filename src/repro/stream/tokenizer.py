@@ -1,0 +1,473 @@
+"""A pure-Python, incremental, non-validating XML tokenizer.
+
+The paper's implementation sits on top of Expat; to keep this reproduction
+self-contained the default event source is this hand-written tokenizer.
+(:mod:`repro.stream.expat_source` provides a drop-in adapter over the
+stdlib Expat binding for speed.)
+
+The tokenizer is *streaming*: :meth:`XmlTokenizer.feed` accepts arbitrary
+chunks of text and yields every event that is complete so far, buffering
+only the unfinished tail.  It understands the XML constructs a
+non-validating processor must recognise — element tags with attributes,
+self-closing tags, character data with the five predefined entities and
+numeric character references, CDATA sections, comments, processing
+instructions, the XML declaration, and a DOCTYPE declaration (skipped,
+including an internal subset).  It rejects ill-formed input with
+:class:`~repro.errors.XmlSyntaxError` carrying a line/column position.
+
+Events carry ``level`` (depth, document element = 1) and ``node_id``
+(pre-order position, starting at 1) exactly as section 2 of the paper
+prescribes.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import IO, Iterable, Iterator
+
+from repro.errors import XmlSyntaxError
+from repro.stream.events import Characters, EndElement, Event, StartElement
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_:")
+_NAME_CHARS = _NAME_START | set("0123456789.-")
+_WHITESPACE = set(" \t\r\n")
+
+_PREDEFINED_ENTITIES = {
+    "amp": "&",
+    "lt": "<",
+    "gt": ">",
+    "apos": "'",
+    "quot": '"',
+}
+
+
+def _is_name(text: str) -> bool:
+    """Return True when ``text`` is a syntactically valid XML name."""
+    if not text or text[0] not in _NAME_START and not text[0].isalpha():
+        return False
+    return all(ch in _NAME_CHARS or ch.isalnum() for ch in text)
+
+
+class _Cursor:
+    """Line/column bookkeeping for error messages."""
+
+    __slots__ = ("line", "column")
+
+    def __init__(self) -> None:
+        self.line = 1
+        self.column = 1
+
+    def advance(self, text: str) -> None:
+        newlines = text.count("\n")
+        if newlines:
+            self.line += newlines
+            self.column = len(text) - text.rfind("\n")
+        else:
+            self.column += len(text)
+
+
+class XmlTokenizer:
+    """Incremental tokenizer producing modified-SAX events.
+
+    Typical use::
+
+        tok = XmlTokenizer()
+        for chunk in chunks:
+            for event in tok.feed(chunk):
+                ...
+        tok.close()   # raises if the document is incomplete
+
+    Parameters
+    ----------
+    skip_whitespace:
+        When true (the default), character runs consisting solely of
+        whitespace are not reported.  Query engines only consume text for
+        value predicates, so indentation noise is pure overhead.
+    """
+
+    def __init__(self, skip_whitespace: bool = True):
+        self._buffer = ""
+        self._pos = 0  # scan offset into _buffer; compacted between feeds
+        self._text_parts: list[str] = []  # pending character data
+        self._skip_whitespace = skip_whitespace
+        self._stack: list[str] = []
+        self._next_id = 1
+        self._seen_root = False
+        self._closed = False
+        self._cursor = _Cursor()
+
+    # -- public API ---------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Current element nesting depth."""
+        return len(self._stack)
+
+    def feed(self, chunk: str) -> Iterator[Event]:
+        """Consume ``chunk`` and yield all events completed by it."""
+        if self._closed:
+            raise XmlSyntaxError("feed() after close()", self._cursor.line, self._cursor.column)
+        self._buffer += chunk
+        yield from self._drain()
+
+    def close(self) -> None:
+        """Declare end of input; raise if the document is incomplete."""
+        if self._closed:
+            return
+        self._closed = True
+        leftover = self._buffer[self._pos:].strip()
+        if leftover:
+            self._error(f"unparsed trailing input {leftover[:40]!r}")
+        if self._stack:
+            self._error(f"unexpected end of input with <{self._stack[-1]}> still open")
+        if not self._seen_root:
+            self._error("document contains no element")
+
+    # -- scanning -----------------------------------------------------
+
+    def _error(self, message: str) -> XmlSyntaxError:
+        raise XmlSyntaxError(message, self._cursor.line, self._cursor.column)
+
+    def _consume(self, length: int) -> str:
+        """Advance the scan offset by ``length``; return the skipped text."""
+        start = self._pos
+        self._pos = start + length
+        text = self._buffer[start:self._pos]
+        self._cursor.advance(text)
+        return text
+
+    def _compact(self) -> None:
+        """Drop consumed input so the buffer never grows unboundedly."""
+        if self._pos:
+            self._buffer = self._buffer[self._pos:]
+            self._pos = 0
+
+    def _remaining(self) -> int:
+        return len(self._buffer) - self._pos
+
+    def _drain(self) -> Iterator[Event]:
+        try:
+            yield from self._scan()
+        finally:
+            # Keep only the unfinished tail between feeds: this is what
+            # makes per-token work O(token), not O(buffer).
+            self._compact()
+
+    def _scan(self) -> Iterator[Event]:
+        buffer = self._buffer
+        while self._pos < len(buffer):
+            pos = self._pos
+            lt = buffer.find("<", pos)
+            if lt == -1:
+                # Pure text so far; emit only what cannot be the start of
+                # an entity split across chunks (keep a small tail if an
+                # unterminated '&' is pending).
+                amp = buffer.rfind("&", pos)
+                cut = len(buffer)
+                if amp != -1 and buffer.find(";", amp) == -1:
+                    cut = amp
+                # Hold back a trailing '\r' too: it may be the first half
+                # of a '\r\n' pair split across chunks.
+                if cut > pos and buffer[cut - 1] == "\r":
+                    cut -= 1
+                if cut > pos:
+                    self._push_text(self._consume(cut - pos))
+                return
+            if lt > pos:
+                self._push_text(self._consume(lt - pos))
+                continue
+            # The buffer at pos starts with '<'.
+            if buffer.startswith("<!--", pos):
+                end = buffer.find("-->", pos + 4)
+                if end == -1:
+                    return
+                comment = buffer[pos + 4:end]
+                if "--" in comment:
+                    self._error("'--' not allowed inside a comment")
+                self._consume(end + 3 - pos)
+                continue
+            if buffer.startswith("<![CDATA[", pos):
+                end = buffer.find("]]>", pos + 9)
+                if end == -1:
+                    return
+                text = buffer[pos + 9:end]
+                self._consume(end + 3 - pos)
+                self._push_text(text, decode=False)
+                continue
+            if buffer.startswith("<?", pos):
+                end = buffer.find("?>", pos + 2)
+                if end == -1:
+                    return
+                self._consume(end + 2 - pos)
+                continue
+            if buffer.startswith("<!", pos):
+                head = buffer[pos:pos + 9]
+                maybe_incomplete = len(head) < 9 and any(
+                    prefix.startswith(head)
+                    for prefix in ("<!--", "<![CDATA[", "<!DOCTYPE")
+                )
+                if maybe_incomplete:
+                    return  # construct kind not yet determined
+                if buffer.startswith("<!DOCTYPE", pos):
+                    end = self._doctype_end(pos)
+                    if end == -1:
+                        return
+                    self._consume(end + 1 - pos)
+                    continue
+                self._error(f"unrecognised markup {buffer[pos:pos + 12]!r}")
+            gt = self._find_tag_end(pos)
+            if gt == -1:
+                return
+            tag_text = self._consume(gt + 1 - pos)
+            yield from self._flush_text()
+            yield from self._handle_tag(tag_text)
+
+    def _doctype_end(self, pos: int) -> int:
+        """Index of the '>' closing a DOCTYPE, honouring an internal subset."""
+        depth = 0
+        buffer = self._buffer
+        for index in range(pos, len(buffer)):
+            char = buffer[index]
+            if char == "[":
+                depth += 1
+            elif char == "]":
+                depth -= 1
+            elif char == ">" and depth == 0 and index > pos:
+                return index
+        return -1
+
+    def _find_tag_end(self, pos: int) -> int:
+        """Index of the '>' ending the tag at ``pos``, skipping quotes."""
+        quote = ""
+        buffer = self._buffer
+        for index in range(pos, len(buffer)):
+            char = buffer[index]
+            if quote:
+                if char == quote:
+                    quote = ""
+            elif char in "\"'":
+                quote = char
+            elif char == ">":
+                return index
+            elif char == "<" and index > pos:
+                self._error("'<' inside a tag")
+        return -1
+
+    # -- tag handling ---------------------------------------------------
+
+    def _handle_tag(self, text: str) -> Iterator[Event]:
+        assert text[0] == "<" and text[-1] == ">"
+        body = text[1:-1]
+        if body.startswith("/"):
+            yield self._end_element(body[1:].strip())
+            return
+        self_closing = body.endswith("/")
+        if self_closing:
+            body = body[:-1]
+        tag, attributes = self._parse_tag_body(body)
+        yield self._start_element(tag, attributes)
+        if self_closing:
+            yield self._end_element(tag)
+
+    def _start_element(self, tag: str, attributes: dict[str, str]) -> StartElement:
+        if not self._stack and self._seen_root:
+            self._error(f"second document element <{tag}>")
+        self._seen_root = True
+        self._stack.append(tag)
+        event = StartElement(tag, len(self._stack), self._next_id, attributes)
+        self._next_id += 1
+        return event
+
+    def _end_element(self, tag: str) -> EndElement:
+        if not _is_name(tag):
+            self._error(f"malformed end tag </{tag}>")
+        if not self._stack:
+            self._error(f"end tag </{tag}> without open element")
+        expected = self._stack[-1]
+        if expected != tag:
+            self._error(f"end tag </{tag}> does not match open <{expected}>")
+        level = len(self._stack)
+        self._stack.pop()
+        return EndElement(tag, level)
+
+    def _parse_tag_body(self, body: str) -> tuple[str, dict[str, str]]:
+        """Split ``a b="1" c='2'`` into the tag name and attribute dict."""
+        index = 0
+        length = len(body)
+        while index < length and body[index] not in _WHITESPACE:
+            index += 1
+        tag = body[:index]
+        if not _is_name(tag):
+            self._error(f"malformed tag name {tag!r}")
+        attributes: dict[str, str] = {}
+        while index < length:
+            while index < length and body[index] in _WHITESPACE:
+                index += 1
+            if index >= length:
+                break
+            start = index
+            while index < length and body[index] not in _WHITESPACE and body[index] != "=":
+                index += 1
+            name = body[start:index]
+            if not _is_name(name):
+                self._error(f"malformed attribute name {name!r} in <{tag}>")
+            while index < length and body[index] in _WHITESPACE:
+                index += 1
+            if index >= length or body[index] != "=":
+                self._error(f"attribute {name!r} in <{tag}> has no value")
+            index += 1
+            while index < length and body[index] in _WHITESPACE:
+                index += 1
+            if index >= length or body[index] not in "\"'":
+                self._error(f"attribute {name!r} in <{tag}> has an unquoted value")
+            quote = body[index]
+            index += 1
+            end = body.find(quote, index)
+            if end == -1:
+                self._error(f"unterminated value for attribute {name!r} in <{tag}>")
+            if name in attributes:
+                self._error(f"duplicate attribute {name!r} in <{tag}>")
+            # XML attribute-value normalisation: literal whitespace becomes
+            # a space *before* entity decoding (so &#10; survives as '\n').
+            raw = body[index:end]
+            for ws in ("\t", "\n", "\r"):
+                raw = raw.replace(ws, " ")
+            attributes[name] = self._decode_entities(raw)
+            index = end + 1
+        return tag, attributes
+
+    # -- text handling --------------------------------------------------
+
+    def _push_text(self, text: str, decode: bool = True) -> None:
+        """Stage character data; adjacent runs coalesce into one event."""
+        if not self._stack:
+            if text.strip():
+                self._error(f"character data {text.strip()[:40]!r} outside the document element")
+            return
+        # XML end-of-line normalisation (literal \r\n and \r become \n;
+        # &#13; references, decoded below, survive).
+        if "\r" in text:
+            text = text.replace("\r\n", "\n").replace("\r", "\n")
+        if decode:
+            text = self._decode_entities(text)
+        self._text_parts.append(text)
+
+    def _flush_text(self) -> Iterator[Characters]:
+        """Emit pending character data as a single event."""
+        if not self._text_parts:
+            return
+        text = "".join(self._text_parts)
+        self._text_parts.clear()
+        if self._skip_whitespace and not text.strip():
+            return
+        yield Characters(text, len(self._stack))
+
+    def _decode_entities(self, text: str) -> str:
+        if "&" not in text:
+            return text
+        parts: list[str] = []
+        index = 0
+        while True:
+            amp = text.find("&", index)
+            if amp == -1:
+                parts.append(text[index:])
+                break
+            parts.append(text[index:amp])
+            semi = text.find(";", amp)
+            if semi == -1:
+                self._error(f"unterminated entity reference in {text[amp:amp + 12]!r}")
+            name = text[amp + 1:semi]
+            parts.append(self._decode_entity(name))
+            index = semi + 1
+        return "".join(parts)
+
+    def _decode_entity(self, name: str) -> str:
+        if name in _PREDEFINED_ENTITIES:
+            return _PREDEFINED_ENTITIES[name]
+        if name.startswith("#"):
+            try:
+                code = int(name[2:], 16) if name[1:2] in ("x", "X") else int(name[1:])
+                return chr(code)
+            except (ValueError, OverflowError):
+                self._error(f"bad character reference &{name};")
+        self._error(f"unknown entity &{name}; (non-validating parser, no DTD entities)")
+        raise AssertionError("unreachable")
+
+
+# -- convenience event-source constructors -------------------------------
+
+#: Chunk size used when reading files incrementally.
+DEFAULT_CHUNK_SIZE = 64 * 1024
+
+
+def parse_string(text: str, skip_whitespace: bool = True) -> Iterator[Event]:
+    """Tokenize a complete XML document held in a string."""
+    tokenizer = XmlTokenizer(skip_whitespace=skip_whitespace)
+    yield from tokenizer.feed(text)
+    tokenizer.close()
+
+
+def parse_chunks(chunks: Iterable[str], skip_whitespace: bool = True) -> Iterator[Event]:
+    """Tokenize XML arriving as an iterable of text chunks."""
+    tokenizer = XmlTokenizer(skip_whitespace=skip_whitespace)
+    for chunk in chunks:
+        yield from tokenizer.feed(chunk)
+    tokenizer.close()
+
+
+def parse_file(
+    source: str | os.PathLike[str] | IO[str],
+    skip_whitespace: bool = True,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> Iterator[Event]:
+    """Tokenize a file path or text file object, reading incrementally."""
+    if hasattr(source, "read"):
+        yield from _parse_stream(source, skip_whitespace, chunk_size)  # type: ignore[arg-type]
+        return
+    with open(source, "r", encoding="utf-8") as handle:
+        yield from _parse_stream(handle, skip_whitespace, chunk_size)
+
+
+def _parse_stream(handle: IO[str], skip_whitespace: bool, chunk_size: int) -> Iterator[Event]:
+    tokenizer = XmlTokenizer(skip_whitespace=skip_whitespace)
+    while True:
+        chunk = handle.read(chunk_size)
+        if not chunk:
+            break
+        yield from tokenizer.feed(chunk)
+    tokenizer.close()
+
+
+def events_from(source, skip_whitespace: bool = True) -> Iterator[Event]:
+    """Dispatch to the right parser for ``source``.
+
+    Accepts XML text (a ``str`` containing ``<``), a path, an open text
+    file, an iterable of chunks, or an iterable of events (returned as-is).
+    """
+    if isinstance(source, str):
+        if "<" in source:
+            return parse_string(source, skip_whitespace)
+        return parse_file(source, skip_whitespace)
+    if isinstance(source, os.PathLike):
+        return parse_file(source, skip_whitespace)
+    if isinstance(source, (io.TextIOBase,)) or hasattr(source, "read"):
+        return parse_file(source, skip_whitespace)
+    iterator = iter(source)
+    return _dispatch_iterable(iterator, skip_whitespace)
+
+
+def _dispatch_iterable(iterator: Iterator, skip_whitespace: bool) -> Iterator[Event]:
+    try:
+        first = next(iterator)
+    except StopIteration:
+        return
+    if isinstance(first, str):
+        def chained() -> Iterator[str]:
+            yield first
+            yield from iterator
+
+        yield from parse_chunks(chained(), skip_whitespace)
+    else:
+        yield first
+        yield from iterator

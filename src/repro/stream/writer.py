@@ -1,0 +1,107 @@
+"""XML serialization: events or trees back to text.
+
+Used by the dataset generators (which build documents as event streams and
+need files on disk), by the result sink when fragment output is requested
+(footnote 3 of the paper: the implementation returns XML fragments), and
+by round-trip tests.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import IO, Iterable
+
+from repro.stream.document import Document, Element
+from repro.stream.events import Characters, EndElement, Event, StartElement
+
+_TEXT_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
+_ATTR_ESCAPES = {**_TEXT_ESCAPES, '"': "&quot;"}
+
+
+def escape_text(text: str) -> str:
+    """Escape character data for element content."""
+    if not any(ch in text for ch in _TEXT_ESCAPES):
+        return text
+    for raw, escaped in _TEXT_ESCAPES.items():
+        text = text.replace(raw, escaped)
+    return text
+
+
+def escape_attribute(value: str) -> str:
+    """Escape an attribute value for a double-quoted attribute."""
+    if not any(ch in value for ch in _ATTR_ESCAPES):
+        return value
+    for raw, escaped in _ATTR_ESCAPES.items():
+        value = value.replace(raw, escaped)
+    return value
+
+
+def write_events(events: Iterable[Event], out: IO[str], indent: str | None = None) -> None:
+    """Serialize an event stream to ``out``.
+
+    ``indent`` of e.g. ``"  "`` pretty-prints (safe only when text content
+    is insignificant); ``None`` writes compact, text-faithful XML.
+    """
+    open_has_children: list[bool] = []
+    pending_open: StartElement | None = None
+
+    def flush_open(self_close: bool) -> None:
+        nonlocal pending_open
+        if pending_open is None:
+            return
+        event = pending_open
+        pending_open = None
+        if indent is not None:
+            out.write("\n" + indent * (event.level - 1) if event.level > 1 else "")
+        attrs = "".join(
+            f' {name}="{escape_attribute(value)}"' for name, value in event.attributes.items()
+        )
+        out.write(f"<{event.tag}{attrs}/>" if self_close else f"<{event.tag}{attrs}>")
+
+    for event in events:
+        if isinstance(event, StartElement):
+            flush_open(self_close=False)
+            if open_has_children:
+                open_has_children[-1] = True
+            open_has_children.append(False)
+            pending_open = event
+        elif isinstance(event, Characters):
+            flush_open(self_close=False)
+            if open_has_children:
+                open_has_children[-1] = True
+            out.write(escape_text(event.text))
+        elif isinstance(event, EndElement):
+            had_children = open_has_children.pop()
+            if pending_open is not None and not had_children:
+                flush_open(self_close=True)
+            else:
+                flush_open(self_close=False)
+                if indent is not None and had_children:
+                    out.write("\n" + indent * (event.level - 1))
+                out.write(f"</{event.tag}>")
+    flush_open(self_close=False)
+
+
+def events_to_string(events: Iterable[Event], indent: str | None = None) -> str:
+    """Serialize an event stream to a string."""
+    buffer = io.StringIO()
+    write_events(events, buffer, indent=indent)
+    return buffer.getvalue()
+
+
+def element_to_string(element: Element) -> str:
+    """Serialize one element subtree (an XML *fragment*) to a string."""
+    from repro.stream.document import _element_events
+
+    return events_to_string(_element_events(element, include_text=True))
+
+
+def document_to_string(document: Document, indent: str | None = None) -> str:
+    """Serialize a whole document to a string."""
+    return events_to_string(document.to_events(), indent=indent)
+
+
+def write_file(events: Iterable[Event], path, indent: str | None = None) -> None:
+    """Serialize an event stream to a file at ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        write_events(events, handle, indent=indent)

@@ -1,0 +1,111 @@
+"""Unparsing: query trees back to canonical XPath text.
+
+``compile_query`` keeps the original source string; this module derives
+the query text *from the tree itself*, giving the library a canonical
+form — stable spacing, one bracket per predicate child, fully nested
+predicate style — useful for cache keys, logging, and for testing that
+compilation is faithful: ``compile(unparse(t))`` must be semantically
+identical to ``t`` (the equivalence is property-tested differentially).
+
+Canonical choices:
+
+* predicate *paths* print in nested form: ``[b/c]`` → ``[b[c]]`` (the
+  two are equivalent existentials; the tree stores them identically);
+* each conjunct gets its own bracket: ``[a and b]`` → ``[a][b]``;
+* comparison operators are spaced, string literals single-quoted,
+  numeric literals drop a trailing ``.0``;
+* a leading descendant step inside a predicate prints as ``.//x``;
+* boolean conditions keep one bracket with minimal parentheses.
+"""
+
+from __future__ import annotations
+
+from repro.xpath.querytree import (
+    AndCond,
+    AttrRef,
+    AttributeTest,
+    ChildRef,
+    Condition,
+    DESCENDANT_EDGE,
+    NotCond,
+    OrCond,
+    QueryNode,
+    QueryTree,
+    ValueRef,
+    ValueTest,
+)
+
+
+def _literal(value: "str | float") -> str:
+    if isinstance(value, str):
+        return f"'{value}'"
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def _value_test(test: ValueTest) -> str:
+    return f"{test.op} {_literal(test.literal)}"
+
+
+def _attribute_test(test: AttributeTest) -> str:
+    if test.value_test is None:
+        return f"@{test.name}"
+    return f"@{test.name} {_value_test(test.value_test)}"
+
+
+def _branch_step(node: QueryNode) -> str:
+    """One branch node as it appears inside a bracket: ``.//name[...]``."""
+    prefix = ".//" if node.axis == DESCENDANT_EDGE else ""
+    return f"{prefix}{node.name}{_suffix(node)}"
+
+
+def _suffix(node: QueryNode) -> str:
+    """Everything bracketed onto a node: children, tests, or condition."""
+    if node.condition is not None:
+        return f"[{_condition_text(node.condition, top=True)}]"
+    parts = [
+        f"[{_branch_step(child)}]"
+        for child in node.children
+        if not child.on_trunk
+    ]
+    parts += [f"[{_attribute_test(test)}]" for test in node.attribute_tests]
+    parts += [f"[. {_value_test(test)}]" for test in node.value_tests]
+    return "".join(parts)
+
+
+def _condition_text(condition: Condition, top: bool = False) -> str:
+    if isinstance(condition, AndCond):
+        inner = " and ".join(_condition_text(part) for part in condition.parts)
+        return inner if top else f"({inner})"
+    if isinstance(condition, OrCond):
+        inner = " or ".join(_condition_text(part) for part in condition.parts)
+        return inner if top else f"({inner})"
+    if isinstance(condition, NotCond):
+        return f"not({_condition_text(condition.part, top=True)})"
+    if isinstance(condition, ChildRef):
+        return _branch_step(condition.node)
+    if isinstance(condition, AttrRef):
+        return _attribute_test(condition.test)
+    assert isinstance(condition, ValueRef)
+    return f". {_value_test(condition.test)}"
+
+
+def unparse_query(tree: "QueryTree | QueryNode") -> str:
+    """Render a compiled query (sub)tree as canonical XPath text."""
+    node: QueryNode | None = tree.root if isinstance(tree, QueryTree) else tree
+    parts: list[str] = []
+    while node is not None:
+        parts.append("//" if node.axis == DESCENDANT_EDGE else "/")
+        parts.append(node.name)
+        parts.append(_suffix(node))
+        trunk = [child for child in node.children if child.on_trunk]
+        node = trunk[0] if trunk else None
+    return "".join(parts)
+
+
+def canonical_query(query: str) -> str:
+    """Parse ``query`` and return its canonical text."""
+    from repro.xpath.querytree import compile_query
+
+    return unparse_query(compile_query(query))

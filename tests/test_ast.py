@@ -1,0 +1,76 @@
+"""Tests for the XPath AST helpers (repro.xpath.ast)."""
+
+import pytest
+
+from repro.xpath.ast import (
+    AndPredicate,
+    ComparisonPredicate,
+    NotPredicate,
+    OrPredicate,
+    PathPredicate,
+    has_descendant_axis,
+    has_predicates,
+    has_wildcard,
+    walk_steps,
+)
+from repro.xpath.parser import parse_xpath
+
+
+class TestWalkSteps:
+    def test_trunk_only(self):
+        steps = walk_steps(parse_xpath("/a/b/c"))
+        assert [str(step.test) for step in steps] == ["a", "b", "c"]
+
+    def test_includes_predicate_paths(self):
+        steps = walk_steps(parse_xpath("//a[b/c]/d"))
+        names = [str(step.test) for step in steps]
+        assert names == ["a", "b", "c", "d"]
+
+    def test_includes_nested_and_boolean_predicates(self):
+        steps = walk_steps(parse_xpath("//a[b[x] or not(c)]/d"))
+        names = sorted(str(step.test) for step in steps)
+        assert names == ["a", "b", "c", "d", "x"]
+
+
+class TestFlags:
+    def test_has_predicates(self):
+        assert has_predicates(parse_xpath("//a[b]"))
+        assert has_predicates(parse_xpath("//a/b[.//c]/d"))
+        assert not has_predicates(parse_xpath("//a/b"))
+
+    def test_has_descendant_axis(self):
+        assert has_descendant_axis(parse_xpath("//a"))
+        assert has_descendant_axis(parse_xpath("/a[.//b]"))
+        assert not has_descendant_axis(parse_xpath("/a/b[c]"))
+
+    def test_has_wildcard(self):
+        assert has_wildcard(parse_xpath("/a/*"))
+        assert has_wildcard(parse_xpath("/a[*/b]"))
+        assert not has_wildcard(parse_xpath("/a/b"))
+
+
+class TestStrForms:
+    @pytest.mark.parametrize(
+        "query",
+        ["/a/b", "//a//b", "//a[b]", "//a[b or c]", "//a[not(b)]",
+         "//a[b and c or d]", "//a[@k = '1']/b", "//a[. = 'x']"],
+    )
+    def test_str_reparses_to_same_ast(self, query):
+        first = parse_xpath(query)
+        second = parse_xpath(str(first))
+        assert str(second) == str(first)
+
+    def test_predicate_str_grouping(self):
+        (pred,) = parse_xpath("//a[b and c or d]").steps[0].predicates
+        assert isinstance(pred, OrPredicate)
+        assert str(pred) == "(b and c) or d"
+
+    def test_not_str(self):
+        (pred,) = parse_xpath("//a[not(b)]").steps[0].predicates
+        assert isinstance(pred, NotPredicate)
+        assert str(pred) == "not(b)"
+
+    def test_comparison_str(self):
+        (pred,) = parse_xpath("//a[b < 30]").steps[0].predicates
+        assert isinstance(pred, ComparisonPredicate)
+        assert str(pred) == "b < 30"

@@ -1,0 +1,66 @@
+"""Tests for the Galax stand-in (repro.baselines.enumerative)."""
+
+from repro.baselines.enumerative import (
+    EnumerativeDomEngine,
+    count_pattern_matches,
+    evaluate_enumerative,
+)
+from repro.stream.document import build_document
+from repro.stream.tokenizer import parse_string
+from tests.conftest import chain_c1_id, chain_xml
+
+
+def run(query, xml):
+    return EnumerativeDomEngine().run(query, parse_string(xml))
+
+
+def doc(xml):
+    return build_document(parse_string(xml))
+
+
+class TestCorrectness:
+    def test_simple_paths(self):
+        assert run("/a/b", "<a><b/><c/></a>") == [2]
+        assert run("//b", "<a><b><b/></b></a>") == [2, 3]
+
+    def test_predicates(self):
+        assert run("//a[d]/b", "<r><a><d/><b/></a><a><b/></a></r>") == [4]
+
+    def test_value_and_attribute_tests(self):
+        xml = "<r><a id='1'><p>10</p><b/></a></r>"
+        assert run("//a[@id][p = 10]/b", xml) == [4]
+
+    def test_figure_1_query(self, figure1_xml, figure1_c1):
+        assert run("//a[d]//b[e]//c", figure1_xml) == [figure1_c1]
+
+    def test_duplicate_solutions_collapse(self):
+        assert run("//a//c", "<a><a><c/></a></a>") == [3]
+
+
+class TestEnumerationCost:
+    def test_counts_quadratic_matches_on_chain(self):
+        """The n² pattern matches of figure 1 are each enumerated."""
+        n = 12
+        document = doc(chain_xml(n, with_predicates=False))
+        count = count_pattern_matches(document, "//a//b//c")
+        # n a-bindings, n² (a,b) prefixes, n² full matches.
+        assert count == n + n * n + n * n
+
+    def test_counts_linear_on_flat_data(self):
+        xml = "<r>" + "<a><b/></a>" * 10 + "</r>"
+        document = doc(xml)
+        count = count_pattern_matches(document, "//a/b")
+        assert count == 20  # 10 a-bindings + 10 (a,b) matches
+
+    def test_enumeration_matches_solutions(self):
+        document = doc(chain_xml(5, with_predicates=False))
+        solutions = evaluate_enumerative(document, "//a//b//c")
+        assert solutions == [chain_c1_id(5, with_predicates=False)]
+
+
+class TestEngineContract:
+    def test_supports_everything(self):
+        engine = EnumerativeDomEngine()
+        assert engine.supports("//a[b][c]//*[.//d]")
+        assert not engine.streaming
+        assert engine.name == "Galax*"

@@ -1,0 +1,128 @@
+"""Tests for the XSQ stand-in (repro.baselines.explicit)."""
+
+import pytest
+
+from repro.baselines.explicit import ExplicitMatchEngine
+from repro.stream.tokenizer import parse_string
+from tests.conftest import chain_c1_id, chain_xml
+
+
+def run(query, xml):
+    return ExplicitMatchEngine().run(query, parse_string(xml))
+
+
+class TestCorrectness:
+    def test_simple_paths(self):
+        assert run("/a/b", "<a><b/><c/></a>") == [2]
+        # Confirmation order is innermost-first (a match is final when its
+        # shallowest binding closes); the solution *set* is what matters.
+        assert sorted(run("//b", "<a><b><b/></b></a>")) == [2, 3]
+
+    def test_child_predicate(self):
+        assert run("//a[d]/b", "<r><a><d/><b/></a><a><b/></a></r>") == [4]
+
+    def test_predicate_arrives_after_trunk_child(self):
+        assert run("//a[d]/b", "<r><a><b/><d/></a></r>") == [3]
+
+    def test_attribute_predicate(self):
+        xml = "<r><a id='1'><b/></a><a><b/></a></r>"
+        assert run("//a[@id]/b", xml) == [3]
+
+    def test_attribute_value_predicate(self):
+        xml = "<r><a id='1'><b/></a><a id='2'><b/></a></r>"
+        assert run("//a[@id = '2']/b", xml) == [5]
+
+    def test_value_test_predicate(self):
+        xml = "<r><i><p>25</p><t/></i><i><p>40</p><t/></i></r>"
+        assert run("//i[p < 30]/t", xml) == [4]
+
+    def test_figure_1_query(self, figure1_xml, figure1_c1):
+        assert run("//a[d]//b[e]//c", figure1_xml) == [figure1_c1]
+
+    def test_predicate_on_return_step(self):
+        xml = "<r><b><e/></b><b/></r>"
+        assert run("//b[e]", xml) == [2]
+
+    def test_recursive_duplicates_collapse(self):
+        assert run("//a//c", "<a><a><c/></a></a>") == [3]
+
+    def test_deep_descendant_chains(self):
+        xml = chain_xml(6, with_predicates=False)
+        assert run("//a//b//c", xml) == [chain_c1_id(6, with_predicates=False)]
+
+
+class TestExplicitEnumerationCost:
+    def test_peak_matches_quadratic_on_chain(self):
+        """The record population reaches the n² the paper ascribes to
+        explicit-match engines on recursive data (figure 1)."""
+        n = 12
+        engine = ExplicitMatchEngine()
+        engine.run("//a//b//c", parse_string(chain_xml(n, with_predicates=False)))
+        assert engine.peak_matches >= n * n
+
+    def test_peak_matches_small_on_flat_data(self):
+        xml = "<r>" + "<a><b/></a>" * 20 + "</r>"
+        engine = ExplicitMatchEngine()
+        engine.run("//a/b", xml_events(xml))
+        assert engine.peak_matches <= 4
+
+
+def xml_events(xml):
+    return parse_string(xml)
+
+
+class TestPropertyDifferential:
+    def test_random_documents_against_oracle(self):
+        """Hypothesis: on its fragment, the explicit engine ≡ the oracle."""
+        from hypothesis import given, settings, strategies as st
+
+        from repro.baselines.navigational import NavigationalDomEngine
+        from tests.test_equivalence_properties import xml_trees
+
+        oracle = NavigationalDomEngine()
+
+        @st.composite
+        def xsq_queries(draw):
+            n_steps = draw(st.integers(1, 3))
+            parts = []
+            for _ in range(n_steps):
+                axis = draw(st.sampled_from(["/", "//"]))
+                name = draw(st.sampled_from(["a", "b", "c", "d"]))
+                step = f"{axis}{name}"
+                pred = draw(st.sampled_from(
+                    ["", "", "[a]", "[b]", "[@k]", "[@k = '1']", "[c = '1']"]
+                ))
+                parts.append(step + pred)
+            return "".join(parts)
+
+        @settings(max_examples=200, deadline=None)
+        @given(xml=xml_trees(), query=xsq_queries())
+        def check(xml, query):
+            engine = ExplicitMatchEngine()
+            if not engine.supports(query):
+                return
+            events = list(parse_string(xml))
+            expected = sorted(oracle.run(query, iter(events)))
+            actual = sorted(engine.run(query, iter(events)))
+            assert actual == expected, (query, xml)
+
+        check()
+
+
+class TestFragmentGating:
+    @pytest.mark.parametrize(
+        "query, ok",
+        [
+            ("//a//b", True),
+            ("//a[d]/b", True),
+            ("//a[@id]/b", True),
+            ("//a[p = 10]/b", True),
+            ("//a/*/b", False),          # wildcard
+            ("//a[b/c]/d", False),        # nested predicate path
+            ("//a[.//d]/b", False),       # descendant inside predicate
+            ("//a[d][e]/b", False),       # two predicates on a step
+            ("//a[. = 'x']/b", False),    # value test on the trunk element
+        ],
+    )
+    def test_supports(self, query, ok):
+        assert ExplicitMatchEngine().supports(query) is ok

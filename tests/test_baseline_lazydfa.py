@@ -1,0 +1,123 @@
+"""Tests for the XMLTK stand-in (repro.baselines.lazydfa)."""
+
+import pytest
+
+from repro.baselines.lazydfa import LazyDfa, LazyDfaEngine
+from repro.core.results import CollectingSink
+from repro.errors import UnsupportedQueryError
+from repro.stream.tokenizer import parse_string
+from repro.xpath.querytree import compile_query
+
+
+def run(query, xml):
+    return LazyDfaEngine().run(query, parse_string(xml))
+
+
+class TestCorrectness:
+    def test_child_path(self):
+        assert run("/a/b", "<a><b/><c><b/></c></a>") == [2]
+
+    def test_descendant_path(self):
+        assert run("//b", "<a><b><b/></b></a>") == [2, 3]
+
+    def test_rooted_vs_descendant_first_step(self):
+        assert run("/b", "<a><b/></a>") == []
+        assert run("//b", "<a><b/></a>") == [2]
+
+    def test_wildcards(self):
+        assert run("//a/*/c", "<a><x><c/></x><c/></a>") == [3]
+        assert run("//*", "<a><b/></a>") == [1, 2]
+
+    def test_mixed_axes(self):
+        assert run("/a//b/c", "<a><x><b><c/></b></x><c/></a>") == [4]
+
+    def test_recursive_data(self):
+        assert run("//a//a", "<a><a><a/></a></a>") == [2, 3]
+
+    def test_output_is_immediate(self):
+        engine = LazyDfaEngine()
+        sink = CollectingSink()
+        events = list(parse_string("<a><b><x/></b></a>"))
+        # Feed only the first two events: <a><b>.
+        engine.run_with_sink("//a/b", iter(events[:2]), sink)
+        assert sink.results == [2]
+
+
+class TestLaziness:
+    def test_states_created_on_demand(self):
+        tree = compile_query("//a//b")
+        dfa = LazyDfa(tree)
+        assert dfa.state_count == 1  # just the initial state
+        state = dfa.step(dfa.initial, "a")
+        assert dfa.state_count == 2
+        dfa.step(state, "b")
+        assert dfa.state_count == 3
+
+    def test_transitions_cached(self):
+        dfa = LazyDfa(compile_query("//a"))
+        first = dfa.step(dfa.initial, "a")
+        again = dfa.step(dfa.initial, "a")
+        assert first is again
+        assert dfa.transition_count == 1
+
+    def test_engine_exposes_dfa(self):
+        engine = LazyDfaEngine()
+        engine.run("//a//b", parse_string("<a><b/></a>"))
+        assert engine.last_dfa.state_count >= 2
+
+    def test_state_growth_with_wildcards(self):
+        """Multiple '*' steps inflate the subset construction — the
+        weakness the paper attributes to XMLTK on '*'-heavy queries."""
+        wide = "<r>" + "".join(
+            f"<t{i}>" + "".join(f"<u{j}><v/></u{j}>" for j in range(4)) + f"</t{i}>"
+            for i in range(4)
+        ) + "</r>"
+        plain = LazyDfaEngine()
+        plain.run("//r//v", parse_string(wide))
+        starry = LazyDfaEngine()
+        starry.run("//*//*//v", parse_string(wide))
+        assert starry.last_dfa.state_count > plain.last_dfa.state_count
+
+
+class TestPropertyDifferential:
+    def test_random_documents_against_oracle(self):
+        """Hypothesis: on XP{/,//,*}, the lazy DFA ≡ the oracle."""
+        from hypothesis import given, settings, strategies as st
+
+        from repro.baselines.navigational import NavigationalDomEngine
+        from tests.test_equivalence_properties import xml_trees
+
+        oracle = NavigationalDomEngine()
+
+        @st.composite
+        def path_queries(draw):
+            n_steps = draw(st.integers(1, 4))
+            parts = []
+            for _ in range(n_steps):
+                axis = draw(st.sampled_from(["/", "//"]))
+                name = draw(st.sampled_from(["a", "b", "c", "d", "*"]))
+                parts.append(f"{axis}{name}")
+            return "".join(parts)
+
+        @settings(max_examples=200, deadline=None)
+        @given(xml=xml_trees(), query=path_queries())
+        def check(xml, query):
+            events = list(parse_string(xml))
+            expected = sorted(oracle.run(query, iter(events)))
+            actual = sorted(LazyDfaEngine().run(query, iter(events)))
+            assert actual == expected, (query, xml)
+
+        check()
+
+
+class TestGating:
+    def test_predicates_rejected(self):
+        with pytest.raises(UnsupportedQueryError, match="predicates"):
+            LazyDfa(compile_query("//a[b]"))
+
+    def test_supports(self):
+        engine = LazyDfaEngine()
+        assert engine.supports("//a/*/b")
+        assert not engine.supports("//a[b]")
+        assert not engine.supports("//a[@id]")
+        assert engine.streaming

@@ -1,0 +1,71 @@
+"""Tests for the XMLTaskForce stand-in / oracle (repro.baselines.navigational)."""
+
+from repro.baselines.navigational import NavigationalDomEngine, evaluate_on_document
+from repro.stream.document import build_document
+from repro.stream.tokenizer import parse_string
+
+
+def run(query, xml):
+    return NavigationalDomEngine().run(query, parse_string(xml))
+
+
+def doc(xml):
+    return build_document(parse_string(xml))
+
+
+class TestTrunkSemantics:
+    def test_rooted_path(self):
+        assert run("/a/b", "<a><b/><c><b/></c></a>") == [2]
+
+    def test_rooted_path_rejects_non_root(self):
+        assert run("/b", "<a><b/></a>") == []
+
+    def test_descendant(self):
+        assert run("//b", "<a><b><b/></b></a>") == [2, 3]
+
+    def test_wildcards(self):
+        assert run("//a/*/c", "<a><x><c/></x><c/></a>") == [3]
+
+    def test_results_sorted_in_document_order(self):
+        assert run("//b", "<a><b/><x/><b/></a>") == [2, 4]
+
+
+class TestPredicates:
+    def test_child_predicate(self):
+        assert run("//a[d]/b", "<r><a><d/><b/></a><a><b/></a></r>") == [4]
+
+    def test_descendant_predicate(self):
+        assert run("//a[.//d]/b", "<r><a><x><d/></x><b/></a></r>") == [5]
+
+    def test_nested_predicate(self):
+        assert run("//a[b[c]]", "<r><a><b><c/></b></a><a><b/></a></r>") == [2]
+
+    def test_attribute_predicates(self):
+        xml = "<r><a id='1'><b/></a><a><b/></a></r>"
+        assert run("//a[@id]/b", xml) == [3]
+
+    def test_value_test_on_string_value(self):
+        xml = "<r><a><p>2<i>5</i></p><t/></a></r>"
+        assert run("//a[p = 25]/t", xml) == [5]
+
+    def test_branching_at_multiple_levels(self):
+        xml = "<r><a><d/><b><e/><c/></b></a></r>"
+        assert run("//a[d]/b[e]/c", xml) == [6]
+
+
+class TestOracleProperties:
+    def test_supports_everything(self):
+        engine = NavigationalDomEngine()
+        assert engine.supports("//a[b][.//c]/*")
+        assert not engine.streaming
+
+    def test_evaluate_on_document_direct(self):
+        document = doc("<a><b/></a>")
+        assert evaluate_on_document(document, "//b") == [2]
+
+    def test_memoization_consistency_on_recursive_data(self):
+        """Repeated tags along a path do not confuse the node-set pass."""
+        xml = "<a><a><a><b/></a></a></a>"
+        assert run("//a//a/b", xml) == [4]
+        assert run("/a/a/a/b", xml) == [4]
+        assert run("/a/a/b", xml) == []

@@ -1,0 +1,93 @@
+"""Tests for the JSON figure export (repro.bench.export)."""
+
+import json
+
+import pytest
+
+from repro.bench.cli import main as bench_main
+from repro.bench.export import cell_record, export_figure, grid_to_records, write_json
+from repro.bench.harness import Cell, Grid, MemoryUse, Timing
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_CACHE", str(tmp_path / "cache"))
+
+
+class TestCellRecords:
+    def test_timing_cell(self):
+        cell = Cell(supported=True, timing=Timing(0.5, (0.4, 0.5, 0.6), 12))
+        record = cell_record("Q1", "TwigM", cell)
+        assert record == {
+            "row": "Q1", "column": "TwigM", "supported": True,
+            "seconds": 0.5, "runs": [0.4, 0.5, 0.6], "results": 12,
+        }
+
+    def test_memory_cell(self):
+        cell = Cell(supported=True, memory=MemoryUse(2048, 3))
+        record = cell_record("Q1", "A", cell)
+        assert record["peak_bytes"] == 2048
+        assert record["results"] == 3
+
+    def test_unsupported_cell(self):
+        assert cell_record("Q1", "A", Cell.unsupported()) == {
+            "row": "Q1", "column": "A", "supported": False,
+        }
+
+    def test_missing_cell(self):
+        assert cell_record("Q1", "A", None)["supported"] is False
+
+    def test_error_cell(self):
+        record = cell_record("Q1", "A", Cell(supported=True, error="boom"))
+        assert record["error"] == "boom"
+
+    def test_grid_to_records_row_major(self):
+        grid = Grid(title="t")
+        grid.put("Q1", "A", Cell.unsupported())
+        grid.put("Q1", "B", Cell.unsupported())
+        grid.put("Q2", "A", Cell.unsupported())
+        records = grid_to_records(grid)
+        assert [(r["row"], r["column"]) for r in records] == [
+            ("Q1", "A"), ("Q1", "B"), ("Q2", "A"), ("Q2", "B"),
+        ]
+
+
+class TestExportFigure:
+    def test_figure5(self):
+        payload = export_figure("5", profile="tiny", repeats=1)
+        assert payload["kind"] == "table"
+        assert len(payload["rows"]) == 3
+
+    def test_figure6(self):
+        payload = export_figure("6", profile="tiny", repeats=1)
+        assert len(payload["rows"]) == 30
+
+    def test_figure7a(self):
+        payload = export_figure("7a", profile="tiny", repeats=1)
+        assert payload["kind"] == "time"
+        assert payload["dataset"] == "book"
+        supported = [c for c in payload["cells"] if c["supported"]]
+        unsupported = [c for c in payload["cells"] if not c["supported"]]
+        assert supported and unsupported  # both kinds present
+        assert all("seconds" in c for c in supported)
+
+    def test_unknown_figure(self):
+        with pytest.raises(KeyError):
+            export_figure("99", profile="tiny", repeats=1)
+
+    def test_write_json_round_trips(self, tmp_path):
+        path = tmp_path / "out.json"
+        payload = export_figure("6", profile="tiny", repeats=1)
+        write_json(str(path), [payload])
+        loaded = json.loads(path.read_text())
+        assert loaded[0]["figure"] == "6"
+
+
+class TestCliJsonFlag:
+    def test_json_output(self, tmp_path, capsys):
+        out = tmp_path / "fig.json"
+        code = bench_main(["--figure", "5", "--profile", "tiny", "--json", str(out)])
+        assert code == 0
+        loaded = json.loads(out.read_text())
+        assert loaded[0]["figure"] == "5"
+        assert "wrote" in capsys.readouterr().out

@@ -1,0 +1,120 @@
+"""Smoke tests for the figure drivers at the tiny profile.
+
+These verify the experiment *machinery*; the shape assertions over real
+measurements live in benchmarks/ (run with ``pytest benchmarks/
+--benchmark-only``).
+"""
+
+import pytest
+
+from repro.bench import figures
+from repro.bench.corpora import PROFILES, get_corpus, scaled_book_corpus
+from repro.bench.systems import ENGINE_NAMES, TwigmEngine, engine_by_name, make_engines
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_CACHE", str(tmp_path / "cache"))
+
+
+class TestCorpora:
+    def test_corpus_cached_on_disk(self):
+        corpus = get_corpus("book", "tiny")
+        assert corpus.path.exists()
+        assert corpus.size_bytes() > 0
+        # Second call reuses the file (same mtime).
+        mtime = corpus.path.stat().st_mtime_ns
+        again = get_corpus("book", "tiny")
+        assert again.path.stat().st_mtime_ns == mtime
+
+    def test_corpus_events_stream(self):
+        corpus = get_corpus("protein", "tiny")
+        events = list(corpus.events())
+        assert events[0].tag == "ProteinDatabase"
+
+    def test_profiles_exist(self):
+        assert {"tiny", "small", "medium", "large"} <= set(PROFILES)
+
+    def test_scaled_corpus_grows(self):
+        one = scaled_book_corpus(1, "tiny")
+        three = scaled_book_corpus(3, "tiny")
+        assert three.size_bytes() > 2 * one.size_bytes()
+
+
+class TestSystemsRegistry:
+    def test_five_engines(self):
+        assert len(make_engines()) == 5
+        assert ENGINE_NAMES[0] == "TwigM"
+
+    def test_engine_by_name(self):
+        assert engine_by_name("twigm").name == "TwigM"
+        assert engine_by_name("XSQ*").name == "XSQ*"
+        with pytest.raises(KeyError):
+            engine_by_name("nope")
+
+    def test_twigm_engine_supports_everything_parsable(self):
+        engine = TwigmEngine()
+        assert engine.supports("//a[b][.//c]/*")
+        assert not engine.supports("//a[")
+
+
+class TestFigureDrivers:
+    def test_figure5_rows(self):
+        rows = figures.figure5("tiny")
+        assert len(rows) == 3
+        assert rows[0]["recursive"] == "yes"   # Book
+        assert rows[2]["recursive"] == "no"    # Protein
+
+    def test_figure6_rows(self):
+        rows = figures.figure6()
+        assert len(rows) == 30
+        assert {row["set"] for row in rows} == {"book", "benchmark", "protein"}
+
+    def test_figure7_grid(self):
+        grid = figures.figure7("book", profile="tiny", repeats=1)
+        assert grid.row_labels == [s.qid for s in figures.QUERY_SETS["book"]]
+        assert grid.column_labels == ENGINE_NAMES
+        # XMLTK must be marked unsupported on predicate queries.
+        assert not grid.get("Q5", "XMLTK*").supported
+        assert grid.get("Q1", "XMLTK*").supported
+        # TwigM supports everything.
+        assert all(grid.get(q, "TwigM").supported for q in grid.row_labels)
+
+    def test_figure8_grid(self):
+        grid = figures.figure8("protein", profile="tiny")
+        cell = grid.get("Q1", "TwigM")
+        assert cell.supported and cell.memory is not None
+
+    def test_figure9_grids(self):
+        grids = figures.figure9(qids=("Q1",), profile="tiny", repeats=1,
+                                factors=(1, 2))
+        assert set(grids) == {"Q1"}
+        assert grids["Q1"].row_labels == ["x1", "x2"]
+
+    def test_figure10_grid(self):
+        grid = figures.figure10(profile="tiny", factors=(1, 2))
+        assert grid.row_labels == ["x1", "x2"]
+
+    def test_render_figure_dispatch(self):
+        assert "Figure 5" in figures.render_figure("5", profile="tiny")
+        assert "Figure 6" in figures.render_figure("6")
+        with pytest.raises(KeyError):
+            figures.render_figure("99")
+
+    def test_render_figure_ablation(self):
+        text = figures.render_figure("A", profile="tiny", repeats=1)
+        assert "fitted k" in text
+        assert "TwigM peak entries" in text
+
+    def test_figures_registry_matches_render(self):
+        for figure in figures.FIGURES:
+            assert figure in ("5", "6", "7a", "7b", "7c", "8a", "8b", "8c",
+                              "9", "10", "A")
+
+
+class TestXsqRestrictionInGrids:
+    def test_xsq_unsupported_on_full_queries(self):
+        grid = figures.figure7("book", profile="tiny", repeats=1)
+        assert not grid.get("Q9", "XSQ*").supported
+        assert not grid.get("Q10", "XSQ*").supported
+        assert grid.get("Q5", "XSQ*").supported

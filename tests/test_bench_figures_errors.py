@@ -1,0 +1,72 @@
+"""Error-path tests for the figure drivers: engines that crash mid-run
+become 'err' cells, exactly like the paper's 'the system reports errors
+for missing points'."""
+
+import pytest
+
+from repro.baselines.common import Engine
+from repro.bench import figures
+from repro.bench.harness import Cell
+from repro.bench.queries import QuerySpec
+from repro.bench.report import render_grid
+from repro.errors import ReproError
+
+
+class _ExplodingEngine(Engine):
+    name = "Kaboom"
+    streaming = True
+
+    def supports(self, query):
+        return True
+
+    def run(self, query, events):
+        raise ReproError("synthetic failure")
+
+
+class _RecursionEngine(Engine):
+    name = "Spiral"
+
+    def supports(self, query):
+        return True
+
+    def run(self, query, events):
+        raise RecursionError
+
+
+class _FakeCorpus:
+    def events(self):
+        return iter(())
+
+
+SPEC = QuerySpec("QX", "//a", "XP{/,//,*}")
+
+
+class TestErrorCells:
+    def test_repro_error_becomes_error_cell(self):
+        cell = figures._run_cell(_ExplodingEngine(), SPEC, _FakeCorpus(), "time", 1)
+        assert cell.supported and cell.error == "synthetic failure"
+
+    def test_recursion_error_becomes_error_cell(self):
+        cell = figures._run_cell(_RecursionEngine(), SPEC, _FakeCorpus(), "time", 1)
+        assert cell.error == "recursion limit"
+
+    def test_memory_kind_also_guarded(self):
+        cell = figures._run_cell(_ExplodingEngine(), SPEC, _FakeCorpus(), "memory", 1)
+        assert cell.error is not None
+
+    def test_error_cells_render_as_err(self):
+        from repro.bench.harness import Grid
+
+        grid = Grid(title="t")
+        grid.put("QX", "Kaboom", Cell(supported=True, error="boom"))
+        assert "err" in render_grid(grid, "time")
+
+    def test_unsupported_query_becomes_missing_bar(self):
+        class Refuses(Engine):
+            name = "No"
+
+            def supports(self, query):
+                return False
+
+        cell = figures._run_cell(Refuses(), SPEC, _FakeCorpus(), "time", 1)
+        assert not cell.supported

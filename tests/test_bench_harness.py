@@ -1,0 +1,131 @@
+"""Tests for the measurement protocol (repro.bench.harness) and report
+rendering (repro.bench.report)."""
+
+import pytest
+
+from repro.bench.harness import (
+    Cell,
+    Grid,
+    MemoryUse,
+    Timing,
+    measure_memory,
+    measure_time,
+    trimmed_mean,
+)
+from repro.bench.report import (
+    format_bytes,
+    format_seconds,
+    render_dict_rows,
+    render_grid,
+    render_table,
+)
+
+
+class TestTrimmedMean:
+    def test_drops_min_and_max(self):
+        """The paper's protocol: discard extremes, average the rest."""
+        assert trimmed_mean([1.0, 2.0, 3.0, 4.0, 100.0]) == 3.0
+
+    def test_small_samples_untrimmed(self):
+        assert trimmed_mean([2.0, 4.0]) == 3.0
+        assert trimmed_mean([5.0]) == 5.0
+
+    def test_three_samples(self):
+        assert trimmed_mean([1.0, 2.0, 9.0]) == 2.0
+
+
+class TestMeasurement:
+    def test_measure_time_runs_n_times(self):
+        calls = []
+
+        def run():
+            calls.append(1)
+            return [1, 2]
+
+        timing = measure_time(run, repeats=4)
+        assert len(calls) == 4
+        assert len(timing.runs) == 4
+        assert timing.result_count == 2
+        assert timing.mean >= 0
+        assert timing.best <= max(timing.runs)
+
+    def test_measure_memory_sees_allocations(self):
+        def run():
+            block = [0] * 200_000
+            return [len(block)]
+
+        usage = measure_memory(run)
+        assert usage.peak_bytes > 500_000  # a 200k-int list is ≥ 1.6MB
+        assert usage.result_count == 1
+
+    def test_measure_memory_small_for_small_runs(self):
+        small = measure_memory(lambda: [1])
+        big = measure_memory(lambda: [len([0] * 500_000)])
+        assert small.peak_bytes < big.peak_bytes
+
+    def test_peak_mb(self):
+        assert MemoryUse(2 * 1024 * 1024, 0).peak_mb == 2.0
+
+
+class TestGrid:
+    def test_put_and_get(self):
+        grid = Grid(title="t")
+        cell = Cell(supported=True, timing=Timing(1.0, (1.0,), 3))
+        grid.put("Q1", "TwigM", cell)
+        assert grid.get("Q1", "TwigM") is cell
+        assert grid.row_labels == ["Q1"]
+        assert grid.column_labels == ["TwigM"]
+
+    def test_missing_cell(self):
+        assert Grid(title="t").get("x", "y") is None
+
+    def test_unsupported_marker(self):
+        assert not Cell.unsupported().supported
+
+
+class TestRendering:
+    def test_format_seconds(self):
+        assert format_seconds(0.0000005) == "0µs" or "µs" in format_seconds(0.0000005)
+        assert format_seconds(0.5) == "500.0ms"
+        assert format_seconds(2.5) == "2.50s"
+
+    def test_format_bytes(self):
+        assert format_bytes(512) == "1KB" or "KB" in format_bytes(512)
+        assert format_bytes(3 * 1024 * 1024) == "3.00MB"
+
+    def test_render_table_alignment(self):
+        table = render_table(["col", "x"], [["a", "1"], ["bb", "22"]])
+        lines = table.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert lines[0].startswith("col")
+
+    def test_render_grid_unsupported_cells(self):
+        grid = Grid(title="fig")
+        grid.put("Q1", "A", Cell(supported=True, timing=Timing(0.5, (0.5,), 7)))
+        grid.put("Q1", "B", Cell.unsupported())
+        text = render_grid(grid, "time")
+        assert "—" in text
+        assert "500.0ms" in text
+
+    def test_render_grid_memory(self):
+        grid = Grid(title="fig")
+        grid.put("Q1", "A", Cell(supported=True, memory=MemoryUse(1024 * 1024, 7)))
+        assert "1.00MB" in render_grid(grid, "memory")
+
+    def test_render_grid_counts(self):
+        grid = Grid(title="fig")
+        grid.put("Q1", "A", Cell(supported=True, timing=Timing(0.5, (0.5,), 7)))
+        assert "7" in render_grid(grid, "count")
+
+    def test_render_grid_error_cells(self):
+        grid = Grid(title="fig")
+        grid.put("Q1", "A", Cell(supported=True, error="out of memory"))
+        assert "err" in render_grid(grid, "time")
+
+    def test_render_dict_rows(self):
+        text = render_dict_rows("T", [{"a": 1, "b": 2}])
+        assert text.startswith("T\n")
+        assert "1" in text
+
+    def test_render_dict_rows_empty(self):
+        assert "no rows" in render_dict_rows("T", [])

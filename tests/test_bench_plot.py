@@ -1,0 +1,150 @@
+"""Tests for the SVG figure renderer (repro.bench.plot).
+
+The output is XML, so the library's own tokenizer validates it — a
+pleasing dogfooding loop.
+"""
+
+import pytest
+
+from repro.bench.plot import (
+    PALETTE,
+    _nice_max,
+    bar_chart,
+    figure_to_svg,
+    line_chart,
+)
+from repro.stream.events import StartElement
+from repro.stream.tokenizer import parse_string
+
+
+def svg_events(svg: str):
+    return [e for e in parse_string(svg) if isinstance(e, StartElement)]
+
+
+class TestNiceMax:
+    @pytest.mark.parametrize(
+        "value, expected",
+        [(0.7, 1.0), (1.0, 1.0), (1.4, 2.0), (3.0, 5.0), (7.2, 10.0),
+         (94, 100.0), (0.034, 0.05), (0, 1.0)],
+    )
+    def test_rounding(self, value, expected):
+        assert _nice_max(value) == pytest.approx(expected)
+
+
+class TestBarChart:
+    def test_well_formed_xml(self):
+        svg = bar_chart("t", ["Q1", "Q2"], {"A": [1.0, 2.0], "B": [2.0, None]}, "s")
+        events = svg_events(svg)
+        assert events[0].tag == "svg"
+
+    def test_one_rect_per_value_missing_bars_absent(self):
+        svg = bar_chart("t", ["Q1", "Q2"], {"A": [1.0, 2.0], "B": [2.0, None]}, "s")
+        bars = [e for e in svg_events(svg)
+                if e.tag == "rect" and e.attributes.get("fill", "").startswith("#")
+                and e.attributes["fill"] != "white"
+                and e.attributes.get("height") not in ("10",)]
+        # 3 data bars (one missing) — filter legend swatches by height.
+        data_bars = [b for b in bars if float(b.attributes["height"]) > 0
+                     and b.attributes.get("width") not in ("10",)]
+        assert len(data_bars) == 3
+
+    def test_group_labels_present(self):
+        svg = bar_chart("t", ["Q1", "Q9"], {"A": [1.0, 1.0]}, "s")
+        assert ">Q1<" in svg and ">Q9<" in svg
+
+    def test_title_escaped(self):
+        svg = bar_chart("a < b", ["g"], {"A": [1.0]}, "s")
+        assert "a &lt; b" in svg
+
+
+class TestLineChart:
+    def test_well_formed_xml(self):
+        svg = line_chart("t", [1, 2, 4], {"A": [1.0, 2.0, 4.0]}, "x", "y")
+        assert svg_events(svg)[0].tag == "svg"
+
+    def test_markers_per_point(self):
+        svg = line_chart("t", [1, 2, 4], {"A": [1.0, 2.0, 4.0], "B": [2.0, None, 8.0]},
+                         "x", "y")
+        circles = [e for e in svg_events(svg) if e.tag == "circle"]
+        assert len(circles) == 5  # one None skipped
+
+    def test_none_breaks_the_line(self):
+        svg = line_chart("t", [1, 2, 3, 4],
+                         {"A": [1.0, 2.0, None, 4.0]}, "x", "y")
+        polylines = [e for e in svg_events(svg) if e.tag == "polyline"]
+        assert len(polylines) == 1  # only the 2-point run qualifies
+
+    def test_palette_cycles(self):
+        series = {f"s{i}": [1.0] * 2 for i in range(len(PALETTE) + 2)}
+        svg = line_chart("t", [1, 2], series, "x", "y")
+        assert PALETTE[0] in svg
+
+
+class TestFigurePayloads:
+    def test_time_grid_payload(self):
+        payload = {
+            "figure": "7a", "profile": "tiny", "dataset": "book",
+            "cells": [
+                {"row": "Q1", "column": "TwigM", "supported": True,
+                 "seconds": 0.1, "runs": [0.1], "results": 5},
+                {"row": "Q1", "column": "XMLTK*", "supported": False},
+            ],
+        }
+        svg = figure_to_svg(payload)
+        assert "Figure 7a" in svg and svg_events(svg)
+
+    def test_memory_grid_payload_scaled_to_mb(self):
+        payload = {
+            "figure": "8c", "profile": "tiny", "dataset": "protein",
+            "cells": [
+                {"row": "Q1", "column": "TwigM", "supported": True,
+                 "peak_bytes": 2 * 1024 * 1024, "results": 5},
+            ],
+        }
+        svg = figure_to_svg(payload)
+        assert "MB" in svg
+
+    def test_figure9_returns_chart_per_query(self):
+        payload = {
+            "figure": "9", "profile": "tiny",
+            "queries": {
+                "Q1": [
+                    {"row": "x1", "column": "TwigM", "supported": True,
+                     "seconds": 0.1, "runs": [0.1], "results": 1},
+                    {"row": "x2", "column": "TwigM", "supported": True,
+                     "seconds": 0.2, "runs": [0.2], "results": 1},
+                ],
+            },
+        }
+        charts = figure_to_svg(payload)
+        assert set(charts) == {"Q1"}
+        assert "Figure 9" in charts["Q1"]
+
+    def test_scaling_payload(self):
+        payload = {
+            "figure": "A", "profile": "small",
+            "series": [
+                {"label": "TwigM operations", "sizes": [10, 20],
+                 "costs": [100, 200], "exponent": 1.0},
+            ],
+        }
+        svg = figure_to_svg(payload)
+        assert "k=1.00" in svg
+
+    def test_tabular_figures_rejected(self):
+        with pytest.raises(ValueError, match="tabular"):
+            figure_to_svg({"figure": "5"})
+
+
+class TestCliSvgFlag:
+    def test_svg_output(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_BENCH_CACHE", str(tmp_path / "cache"))
+        from repro.bench.cli import main as bench_main
+
+        out = tmp_path / "figs"
+        code = bench_main(["--figure", "7a", "--profile", "tiny",
+                           "--repeats", "1", "--svg", str(out)])
+        assert code == 0
+        svg_file = out / "fig7a.svg"
+        assert svg_file.exists()
+        list(parse_string(svg_file.read_text()))  # valid XML

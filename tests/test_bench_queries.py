@@ -1,0 +1,120 @@
+"""The figure 6 query sets must satisfy their stated class constraints."""
+
+import pytest
+
+from repro.bench.queries import (
+    BOOK_QUERIES,
+    FULL_CLASS,
+    PATH_CLASS,
+    PROTEIN_QUERIES,
+    QUERY_SETS,
+    SIMPLE_PRED_CLASS,
+    XMARK_QUERIES,
+    get_query,
+)
+from repro.xpath.querytree import compile_query
+
+ALL_SPECS = [
+    (family, spec) for family, specs in QUERY_SETS.items() for spec in specs
+]
+
+
+@pytest.mark.parametrize("family, spec", ALL_SPECS,
+                         ids=[f"{f}-{s.qid}" for f, s in ALL_SPECS])
+def test_every_query_compiles(family, spec):
+    compile_query(spec.xpath)
+
+
+@pytest.mark.parametrize("queries", [BOOK_QUERIES, PROTEIN_QUERIES])
+class TestPaperClassStructure:
+    def test_ten_queries(self, queries):
+        assert len(queries) == 10
+
+    def test_q1_to_q4_are_path_queries(self, queries):
+        """Q1-Q4 ∈ XP{/,//,*}: no predicates at all."""
+        for spec in queries[:4]:
+            assert spec.fragment == PATH_CLASS
+            tree = compile_query(spec.xpath)
+            assert not tree.has_branches(), spec
+
+    def test_q5_to_q8_have_simple_predicates(self, queries):
+        """Q5-Q8 ∈ XP{/,//,[]}: predicates are one child step or an
+        attribute (the XSQ-compatible restriction)."""
+        for spec in queries[4:8]:
+            assert spec.fragment == SIMPLE_PRED_CLASS
+            tree = compile_query(spec.xpath)
+            assert tree.has_branches(), spec
+            assert not tree.has_wildcard(), spec
+            for node in tree.iter_nodes():
+                for child in node.children:
+                    if child.on_trunk:
+                        continue
+                    assert not child.children, f"{spec}: nested predicate"
+
+    def test_q8_has_a_value_test(self, queries):
+        tree = compile_query(queries[7].xpath)
+        has_value = any(
+            node.value_tests
+            or any(t.value_test for t in node.attribute_tests)
+            for node in tree.iter_nodes()
+        )
+        assert has_value
+
+    def test_q9_q10_use_the_full_fragment(self, queries):
+        for spec in queries[8:]:
+            assert spec.fragment == FULL_CLASS
+            tree = compile_query(spec.xpath)
+            assert tree.has_branches()
+
+    def test_q10_has_wildcard(self, queries):
+        assert compile_query(queries[9].xpath).has_wildcard()
+
+
+class TestXmarkQueries:
+    def test_count(self):
+        assert len(XMARK_QUERIES) == 10
+
+    def test_vocabulary_is_auction_site(self):
+        text = " ".join(spec.xpath for spec in XMARK_QUERIES)
+        for name in ("site", "person", "open_auction", "closed_auction"):
+            assert name in text
+
+
+class TestLookup:
+    def test_get_query(self):
+        assert get_query("book", "Q5").qid == "Q5"
+
+    def test_get_query_unknown(self):
+        with pytest.raises(KeyError):
+            get_query("book", "Q99")
+
+    def test_str_form(self):
+        assert "Q1" in str(get_query("book", "Q1"))
+
+
+class TestQueriesProduceResults:
+    """Most benchmark queries should actually select something, so the
+    figures measure real work (Q8's value test is deliberately selective).
+    """
+
+    @pytest.mark.parametrize("family", ["book", "benchmark", "protein"])
+    def test_result_counts(self, family):
+        from repro.bench.systems import TwigmEngine
+        from repro.datasets.book import book_events
+        from repro.datasets.protein import protein_events
+        from repro.datasets.xmark import xmark_events
+
+        sources = {
+            "book": lambda: book_events(15),
+            "benchmark": lambda: xmark_events(1.0),
+            "protein": lambda: protein_events(80),
+        }
+        engine = TwigmEngine()
+        empty = []
+        for spec in QUERY_SETS[family]:
+            count = len(engine.run(spec.xpath, sources[family]()))
+            if count == 0:
+                empty.append(spec.qid)
+        # Allow at most the deliberately-selective value-test queries to
+        # come up empty at this tiny scale.
+        assert len(empty) <= 2, f"too many empty queries for {family}: {empty}"

@@ -1,0 +1,203 @@
+"""Tests for the boolean-connective predicate extension (or / not / parens).
+
+The paper's fragment is conjunctive; this library extends predicates to
+arbitrary boolean combinations (DESIGN.md §7).  Purely conjunctive
+queries must keep using the bitmask fast path (condition is None).
+"""
+
+import pytest
+
+from repro.baselines.enumerative import EnumerativeDomEngine
+from repro.baselines.explicit import ExplicitMatchEngine
+from repro.baselines.navigational import NavigationalDomEngine
+from repro.core.branchm import BranchM
+from repro.core.machine import build_machine
+from repro.core.processor import XPathStream, evaluate
+from repro.core.twigm import TwigM
+from repro.errors import UnsupportedQueryError, XPathSyntaxError
+from repro.stream.tokenizer import parse_string
+from repro.xpath.querytree import (
+    AndCond,
+    AttrRef,
+    ChildRef,
+    NotCond,
+    OrCond,
+    ValueRef,
+    compile_query,
+    condition_leaves,
+    evaluate_condition_3v,
+)
+
+
+class TestParsing:
+    def test_or(self):
+        tree = compile_query("//a[b or c]")
+        assert isinstance(tree.root.condition, OrCond)
+
+    def test_not(self):
+        tree = compile_query("//a[not(b)]")
+        assert isinstance(tree.root.condition, NotCond)
+
+    def test_nested_boolean_structure(self):
+        tree = compile_query("//a[(b or c) and not(@x)]")
+        condition = tree.root.condition
+        assert isinstance(condition, AndCond)
+        assert isinstance(condition.parts[0], OrCond)
+        assert isinstance(condition.parts[1], NotCond)
+
+    def test_precedence_and_binds_tighter_than_or(self):
+        tree = compile_query("//a[b and c or d]")
+        condition = tree.root.condition
+        assert isinstance(condition, OrCond)
+        assert isinstance(condition.parts[0], AndCond)
+
+    def test_multiple_brackets_with_boolean_one(self):
+        """[p][q or r] is AND(p, OR(q, r))."""
+        tree = compile_query("//a[p][q or r]")
+        condition = tree.root.condition
+        assert isinstance(condition, AndCond)
+        assert isinstance(condition.parts[0], ChildRef)
+        assert isinstance(condition.parts[1], OrCond)
+
+    def test_leaf_kinds(self):
+        tree = compile_query("//a[b or @x or . = '1']")
+        leaves = list(condition_leaves(tree.root.condition))
+        kinds = sorted(type(leaf).__name__ for leaf in leaves)
+        assert kinds == ["AttrRef", "ChildRef", "ValueRef"]
+
+    def test_not_requires_parentheses(self):
+        # A bare name 'not' stays a name test.
+        tree = compile_query("//a[not]")
+        assert tree.root.condition is None
+        assert tree.root.children[0].name == "not"
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(XPathSyntaxError):
+            compile_query("//a[not(b]")
+        with pytest.raises(XPathSyntaxError):
+            compile_query("//a[(b or c]")
+
+    def test_conjunctive_queries_keep_fast_path(self):
+        for query in ("//a[b]", "//a[b][c]", "//a[b and c]", "//a[@x][. = '1']"):
+            tree = compile_query(query)
+            assert all(node.condition is None for node in tree.iter_nodes()), query
+            assert not tree.has_boolean_connectives()
+
+    def test_str_round_trip(self):
+        for query in ("//a[b or c]/d", "//a[not(b)]", "//a[(b or c) and d]"):
+            assert str(compile_query(query).source) == query
+
+
+class TestEvaluation:
+    CASES = [
+        ("//a[b or c]/t",
+         "<r><a><b/><t/></a><a><c/><t/></a><a><x/><t/></a></r>", [4, 7]),
+        ("//a[not(b)]/t",
+         "<r><a><b/><t/></a><a><t/></a></r>", [6]),
+        ("//a[not(@x)]/t",
+         "<r><a x='1'><t/></a><a><t/></a></r>", [5]),
+        ("//a[b or @k = '1']/t",
+         "<r><a k='1'><t/></a><a><b/><t/></a><a k='2'><t/></a></r>", [3, 6]),
+        ("//a[not(p = 10)]/t",
+         "<r><a><p>10</p><t/></a><a><p>11</p><t/></a></r>", [7]),
+        ("//a[b[x or y]]/t",
+         "<r><a><b><x/></b><t/></a><a><b/><t/></a></r>", [5]),
+        ("//a[not(b) or c]/t",
+         "<r><a><b/><c/><t/></a><a><b/><t/></a><a><t/></a></r>", [5, 10]),
+        ("//a[not(b//c)]/t",
+         "<r><a><b><x><c/></x></b><t/></a><a><b/><t/></a></r>", [9]),
+        ("//a[. = 'x' or . = 'y']",
+         "<r><a>x</a><a>y</a><a>z</a></r>", [2, 3]),
+    ]
+
+    @pytest.mark.parametrize("query, xml, expected", CASES)
+    def test_twigm_results(self, query, xml, expected):
+        assert sorted(evaluate(query, xml)) == expected
+
+    @pytest.mark.parametrize("query, xml, expected", CASES)
+    def test_oracle_agrees(self, query, xml, expected):
+        oracle = NavigationalDomEngine()
+        assert sorted(oracle.run(query, parse_string(xml))) == expected
+
+    @pytest.mark.parametrize("query, xml, expected", CASES)
+    def test_enumerative_agrees(self, query, xml, expected):
+        engine = EnumerativeDomEngine()
+        assert sorted(engine.run(query, parse_string(xml))) == expected
+
+    def test_or_on_recursive_data(self):
+        xml = "<a><a><b/><t/></a><c/><t/></a>"
+        assert sorted(evaluate("//a[b or c]/t", xml)) == [4, 6]
+
+    def test_not_with_descendant_axes(self):
+        xml = "<r><a><t/></a><a><x><d/></x><t/></a></r>"
+        assert sorted(evaluate("//a[not(.//d)]/t", xml)) == [3]
+
+
+class TestDispatchAndGating:
+    def test_boolean_queries_run_on_twigm(self):
+        assert XPathStream("/a[b or c]/d").engine_name == "twigm"
+        assert XPathStream("//a[not(b)]").engine_name == "twigm"
+
+    def test_branchm_rejects_connectives(self):
+        with pytest.raises(UnsupportedQueryError, match="or/not"):
+            BranchM("/a[b or c]/d")
+
+    def test_explicit_engine_rejects_connectives(self):
+        assert not ExplicitMatchEngine().supports("//a[b or c]/d")
+
+    def test_machine_compiles_condition(self):
+        machine = build_machine(compile_query("//a[b or c]/t"))
+        assert machine.root.compiled_condition is not None
+        assert machine.root.complete_mask == 0b111  # unused on this node
+
+
+class TestPushTimePruning:
+    def test_impossible_attribute_condition_prunes_entry(self):
+        """[@x and (b or c)] with no @x can never be satisfied: no entry."""
+        machine = TwigM("//a[@x and (b or c)]/t")
+        events = list(parse_string("<r><a><b/><t/></a></r>"))
+        machine.feed(events[:2])
+        assert machine.total_stack_entries() == 0
+
+    def test_possible_condition_keeps_entry(self):
+        machine = TwigM("//a[@x or b]/t")
+        events = list(parse_string("<r><a><b/><t/></a></r>"))
+        machine.feed(events[:2])  # no @x, but b may still arrive
+        assert machine.total_stack_entries() == 1
+
+    def test_negated_attribute_prunes_when_present(self):
+        machine = TwigM("//a[not(@x)]/t")
+        events = list(parse_string("<r><a x='1'><t/></a></r>"))
+        machine.feed(events[:2])
+        assert machine.total_stack_entries() == 0
+
+
+class TestThreeValuedEvaluation:
+    def test_unknowns_propagate(self):
+        tree = compile_query("//a[b or c]")
+        condition = tree.root.condition
+        assert evaluate_condition_3v(condition, lambda ref: None) is None
+
+    def test_or_short_circuits_true(self):
+        tree = compile_query("//a[@x or b]")
+        condition = tree.root.condition
+
+        def leaf(ref):
+            return True if isinstance(ref, AttrRef) else None
+
+        assert evaluate_condition_3v(condition, leaf) is True
+
+    def test_and_short_circuits_false(self):
+        # A conjunction only reaches the condition path when a connective
+        # is present somewhere; (b or c) provides the unknown side.
+        tree = compile_query("//a[@x and (b or c)]")
+        condition = tree.root.condition
+
+        def leaf(ref):
+            return False if isinstance(ref, AttrRef) else None
+
+        assert evaluate_condition_3v(condition, leaf) is False
+
+    def test_not_inverts(self):
+        tree = compile_query("//a[not(@x)]")
+        assert evaluate_condition_3v(tree.root.condition, lambda r: True) is False

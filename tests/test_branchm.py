@@ -1,0 +1,104 @@
+"""Tests for BranchM (repro.core.branchm, §3.2)."""
+
+import pytest
+
+from repro.core.branchm import BranchM, evaluate_branchm
+from repro.errors import UnsupportedQueryError
+from repro.stream.tokenizer import parse_string
+
+
+def run(query, xml):
+    return evaluate_branchm(query, parse_string(xml))
+
+
+class TestPaperExample:
+    def test_figure_3_execution(self):
+        """Q3 = /a[d]/b[e]/c over figure 3(a): c₁ is the solution."""
+        xml = "<a><b><c/><e/></b><d/></a>"
+        assert run("/a[d]/b[e]/c", xml) == [3]
+
+    def test_predicate_arrives_after_candidate(self):
+        """c is a candidate long before d decides its fate."""
+        xml = "<a><b><c/></b><d/></a>"
+        assert run("/a[d]/b/c", xml) == [3]
+
+    def test_failed_predicate_discards_candidates(self):
+        xml = "<a><b><c/></b></a>"
+        assert run("/a[d]/b/c", xml) == []
+
+
+class TestPredicates:
+    def test_multiple_predicates_conjunction(self):
+        assert run("/a[b][c]/d", "<a><b/><c/><d/></a>") == [4]
+        assert run("/a[b][c]/d", "<a><b/><d/></a>") == []
+
+    def test_nested_predicates(self):
+        assert run("/a[b[c]]/d", "<a><b><c/></b><d/></a>") == [4]
+        assert run("/a[b[c]]/d", "<a><b/><c/><d/></a>") == []
+
+    def test_predicate_path(self):
+        assert run("/a[b/c]/d", "<a><b><c/></b><d/></a>") == [4]
+
+    def test_attribute_predicate(self):
+        assert run("/a[@x]/b", "<a x='1'><b/></a>") == [2]
+        assert run("/a[@x]/b", "<a><b/></a>") == []
+
+    def test_attribute_value_predicate(self):
+        assert run("/a[@x = '1']/b", "<a x='1'><b/></a>") == [2]
+        assert run("/a[@x = '1']/b", "<a x='2'><b/></a>") == []
+
+    def test_value_test_on_child(self):
+        xml = "<a><p>10</p><b/></a>"
+        assert run("/a[p = 10]/b", xml) == [3]
+        assert run("/a[p = 11]/b", xml) == []
+
+    def test_value_test_numeric_comparison(self):
+        xml = "<r><i><p>25</p><t/></i><i><p>40</p><t/></i></r>"
+        assert run("/r/i[p < 30]/t", xml) == [4]
+
+    def test_self_value_test(self):
+        xml = "<a><b>yes</b><b>no</b></a>"
+        assert run("/a/b[. = 'yes']", xml) == [2]
+
+    def test_string_value_spans_subtree(self):
+        # BranchM string-value accumulates descendant text too.
+        xml = "<a><b>he<i>ll</i>o</b></a>"
+        assert run("/a/b[. = 'hello']", xml) == [2]
+
+    def test_return_node_with_predicate(self):
+        xml = "<a><b><e/></b><b/></a>"
+        assert run("/a/b[e]", xml) == [2]
+
+
+class TestRepetition:
+    def test_slot_reuse_across_siblings(self):
+        """One slot suffices: siblings never overlap in time."""
+        xml = "<r><a><d/><c/></a><a><c/></a><a><d/><c/></a></r>"
+        assert run("/r/a[d]/c", xml) == [4, 9]
+
+    def test_candidates_do_not_leak_between_siblings(self):
+        xml = "<r><a><c/></a><a><d/></a></r>"
+        assert run("/r/a[d]/c", xml) == []
+
+
+class TestGating:
+    def test_descendant_axis_rejected(self):
+        with pytest.raises(UnsupportedQueryError, match="XP"):
+            BranchM("//a[b]")
+
+    def test_wildcard_rejected(self):
+        with pytest.raises(UnsupportedQueryError):
+            BranchM("/a/*[b]")
+
+    def test_descendant_inside_predicate_rejected(self):
+        with pytest.raises(UnsupportedQueryError):
+            BranchM("/a[.//b]/c")
+
+    def test_reset(self):
+        machine = BranchM("/a[b]/c")
+        machine.feed(parse_string("<a><b/><c/></a>"))
+        assert machine.results == [3]
+        machine.reset()
+        for node in machine.machine.iter_nodes():
+            slot = machine.slot_of(node)
+            assert slot.level == -1 and slot.flags == 0

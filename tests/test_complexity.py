@@ -1,0 +1,82 @@
+"""Tests for the empirical complexity fitter (repro.bench.complexity)."""
+
+import pytest
+
+from repro.bench.complexity import (
+    CHAIN_QUERY,
+    ScalingSeries,
+    chain_document,
+    chain_scaling,
+    fit_exponent,
+    render_chain_scaling,
+)
+from repro.core.processor import evaluate
+
+
+class TestFitExponent:
+    def test_linear(self):
+        assert abs(fit_exponent([10, 20, 40], [10, 20, 40]) - 1.0) < 1e-9
+
+    def test_quadratic(self):
+        sizes = [10, 20, 40]
+        assert abs(fit_exponent(sizes, [s * s for s in sizes]) - 2.0) < 1e-9
+
+    def test_constant(self):
+        assert abs(fit_exponent([10, 20, 40], [7, 7, 7])) < 1e-9
+
+    def test_scale_invariant(self):
+        sizes = [8, 16, 32, 64]
+        k = fit_exponent(sizes, [3.5 * s ** 1.5 for s in sizes])
+        assert abs(k - 1.5) < 1e-9
+
+    def test_zero_costs_do_not_explode(self):
+        k = fit_exponent([10, 20], [0.0, 0.0])
+        assert k == 0.0
+
+
+class TestChainDocument:
+    def test_structure(self):
+        xml = chain_document(3)
+        assert xml.count("<a>") == 3 and xml.count("<b>") == 3
+        assert xml.count("<d/>") == 1 and xml.count("<e/>") == 1
+
+    def test_single_solution(self):
+        for n in (1, 2, 5):
+            assert len(evaluate(CHAIN_QUERY, chain_document(n))) == 1
+
+
+class TestChainScaling:
+    @pytest.fixture(scope="class")
+    def series(self):
+        measured = chain_scaling(sizes=(20, 40, 80), repeats=1)
+        return {entry.label: entry for entry in measured}
+
+    def test_all_series_present(self, series):
+        assert {"TwigM operations", "TwigM peak entries",
+                "XSQ* peak records", "Galax* enumerated"} <= set(series)
+
+    def test_twigm_is_linear(self, series):
+        assert series["TwigM operations"].exponent < 1.2
+        assert series["TwigM peak entries"].exponent < 1.1
+
+    def test_explicit_is_quadratic(self, series):
+        assert series["XSQ* peak records"].exponent > 1.8
+
+    def test_enumerative_is_quadratic(self, series):
+        assert series["Galax* enumerated"].exponent > 1.8
+
+    def test_enumerative_series_capped(self):
+        measured = chain_scaling(sizes=(20, 200), repeats=1, enumerative_cap=50)
+        labels = [entry.label for entry in measured]
+        assert "Galax* enumerated" not in labels  # only one size ≤ cap
+
+    def test_render(self, series):
+        text = render_chain_scaling(list(series.values()))
+        assert "fitted k" in text
+        assert "TwigM peak entries" in text
+
+    def test_row_shape(self):
+        entry = ScalingSeries("s", (2, 4), (2.0, 4.0))
+        row = entry.row()
+        assert row["series"] == "s"
+        assert row["fitted k"] == 1.0

@@ -1,0 +1,162 @@
+"""Tests for the three corpus generators (book / xmark / protein) and
+dataset statistics (the figure 5 properties the paper relies on)."""
+
+import pytest
+
+from repro.datasets.book import book_events, duplicated_book_events
+from repro.datasets.generator import GeneratorConfig
+from repro.datasets.protein import protein_events
+from repro.datasets.stats import collect_stats
+from repro.datasets.xmark import xmark_events
+from repro.stream.events import StartElement, validate_events
+
+
+@pytest.fixture(scope="module")
+def book_stats():
+    return collect_stats(validate_events(book_events(20)))
+
+
+@pytest.fixture(scope="module")
+def xmark_stats():
+    return collect_stats(validate_events(xmark_events(1.0)))
+
+
+@pytest.fixture(scope="module")
+def protein_stats():
+    return collect_stats(validate_events(protein_events(60)))
+
+
+class TestBookCorpus:
+    def test_recursive_via_section(self, book_stats):
+        """The property the whole evaluation turns on (figure 5)."""
+        assert book_stats.recursive
+        assert "section" in book_stats.recursive_tags
+
+    def test_depth_within_number_levels(self, book_stats):
+        assert book_stats.max_depth <= 20
+
+    def test_expected_vocabulary(self):
+        tags = {
+            event.tag
+            for event in book_events(5)
+            if isinstance(event, StartElement)
+        }
+        assert {"bib", "book", "title", "author", "section"} <= tags
+
+    def test_deterministic(self):
+        assert list(book_events(3)) == list(book_events(3))
+
+    def test_book_count(self):
+        books = sum(
+            1
+            for event in book_events(7)
+            if isinstance(event, StartElement) and event.tag == "book"
+        )
+        assert books == 7
+
+
+class TestDuplicatedBook:
+    def test_factor_scales_elements(self):
+        base = collect_stats(duplicated_book_events(3, 1))
+        tripled = collect_stats(duplicated_book_events(3, 3))
+        assert tripled.elements == 3 * base.elements - 2  # shared wrapper
+
+    def test_duplicated_stream_is_valid(self):
+        list(validate_events(duplicated_book_events(2, 4)))
+
+    def test_ids_stay_increasing_across_copies(self):
+        ids = [
+            event.node_id
+            for event in duplicated_book_events(2, 3)
+            if isinstance(event, StartElement)
+        ]
+        assert ids == sorted(ids)
+        assert len(ids) == len(set(ids))
+
+
+class TestXmarkCorpus:
+    def test_vocabulary(self):
+        tags = {
+            event.tag
+            for event in xmark_events(0.5)
+            if isinstance(event, StartElement)
+        }
+        assert {"site", "regions", "people", "person", "open_auction",
+                "closed_auction", "item", "annotation"} <= tags
+
+    def test_shallow_except_parlist(self, xmark_stats):
+        assert xmark_stats.recursive_tags <= {"parlist", "listitem"}
+
+    def test_scale_increases_size(self):
+        small = collect_stats(xmark_events(0.5))
+        large = collect_stats(xmark_events(2.0))
+        assert large.elements > small.elements
+
+
+class TestProteinCorpus:
+    def test_flat_and_non_recursive(self, protein_stats):
+        """Figure 5: the protein data is shallow and non-recursive."""
+        assert not protein_stats.recursive
+        assert protein_stats.max_depth <= 8
+
+    def test_vocabulary(self):
+        tags = {
+            event.tag
+            for event in protein_events(5)
+            if isinstance(event, StartElement)
+        }
+        assert {"ProteinDatabase", "ProteinEntry", "protein", "organism",
+                "reference", "refinfo", "sequence"} <= tags
+
+    def test_entry_count(self):
+        entries = sum(
+            1
+            for event in protein_events(9)
+            if isinstance(event, StartElement) and event.tag == "ProteinEntry"
+        )
+        assert entries == 9
+
+
+class TestDatasetStats:
+    def test_known_document(self):
+        from repro.stream.tokenizer import parse_string
+
+        stats = collect_stats(parse_string("<a x='1'><a><b>text</b></a></a>"))
+        assert stats.elements == 3
+        assert stats.attributes == 1
+        assert stats.max_depth == 3
+        assert stats.distinct_tags == 2
+        assert stats.recursive and stats.recursive_tags == {"a"}
+        assert stats.text_bytes == 4
+
+    def test_size_matches_serialization(self):
+        from repro.stream.tokenizer import parse_string
+        from repro.stream.writer import events_to_string
+
+        xml = "<a x='1'><b>t &amp; u</b><c/></a>"
+        events = list(parse_string(xml, skip_whitespace=False))
+        stats = collect_stats(iter(events))
+        serialized = events_to_string(iter(events))
+        # collect_stats charges "<tag>...</tag>" for every element; the
+        # writer may self-close empties, making it shorter by exactly
+        # len("</c>") - 1 per empty element.
+        assert stats.size_bytes >= len(serialized)
+
+    def test_row_shape(self):
+        from repro.stream.tokenizer import parse_string
+
+        row = collect_stats(parse_string("<a/>")).row("tiny")
+        assert row["dataset"] == "tiny"
+        assert row["recursive"] == "no"
+
+    def test_size_mb_property(self):
+        from repro.stream.tokenizer import parse_string
+
+        stats = collect_stats(parse_string("<a/>"))
+        assert stats.size_mb == stats.size_bytes / (1024 * 1024)
+
+    def test_paper_figure5_shape(self, book_stats, xmark_stats, protein_stats):
+        """Book recursive, Protein flat — the qualitative figure 5 row."""
+        assert book_stats.recursive
+        assert not protein_stats.recursive
+        assert protein_stats.max_depth < book_stats.max_depth

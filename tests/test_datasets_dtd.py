@@ -1,0 +1,105 @@
+"""Tests for the DTD content model (repro.datasets.dtd)."""
+
+import random
+
+import pytest
+
+from repro.datasets.dtd import (
+    AttributeDecl,
+    ElementDecl,
+    Particle,
+    choice_of,
+    constant,
+    int_range,
+    make_dtd,
+    words,
+)
+
+
+def rng():
+    return random.Random(7)
+
+
+class TestSamplers:
+    def test_constant(self):
+        assert constant("x")(rng()) == "x"
+
+    def test_choice_of(self):
+        values = {"a", "b", "c"}
+        assert all(choice_of(list(values))(rng()) in values for _ in range(10))
+
+    def test_int_range(self):
+        sampler = int_range(5, 7)
+        r = rng()
+        assert all(5 <= int(sampler(r)) <= 7 for _ in range(20))
+
+    def test_words(self):
+        sampler = words(["x", "y"], 2, 4)
+        sample = sampler(rng())
+        assert 2 <= len(sample.split()) <= 4
+
+
+class TestDtdValidation:
+    def test_root_must_be_declared(self):
+        with pytest.raises(ValueError, match="root"):
+            make_dtd("missing", [ElementDecl("a")])
+
+    def test_references_must_be_declared(self):
+        with pytest.raises(ValueError, match="undeclared"):
+            make_dtd("a", [ElementDecl("a", content=(Particle(("ghost",)),))])
+
+    def test_particle_needs_options(self):
+        with pytest.raises(ValueError, match="at least one option"):
+            Particle(())
+
+    def test_particle_count_ordering(self):
+        with pytest.raises(ValueError, match="below"):
+            Particle(("a",), min_count=3, max_count=1)
+
+    def test_declaration_lookup(self):
+        dtd = make_dtd("a", [ElementDecl("a")])
+        assert dtd.declaration("a").name == "a"
+
+
+class TestRecursionDetection:
+    def test_directly_recursive(self):
+        dtd = make_dtd(
+            "a", [ElementDecl("a", content=(Particle(("a",), 0, 1),))]
+        )
+        assert dtd.recursive_names() == frozenset({"a"})
+
+    def test_mutually_recursive(self):
+        dtd = make_dtd(
+            "a",
+            [
+                ElementDecl("a", content=(Particle(("b",), 0, 1),)),
+                ElementDecl("b", content=(Particle(("a",), 0, 1),)),
+            ],
+        )
+        assert dtd.recursive_names() == frozenset({"a", "b"})
+
+    def test_non_recursive(self):
+        dtd = make_dtd(
+            "a",
+            [
+                ElementDecl("a", content=(Particle(("b",), 0, 1),)),
+                ElementDecl("b"),
+            ],
+        )
+        assert dtd.recursive_names() == frozenset()
+
+    def test_recursion_through_chain(self):
+        dtd = make_dtd(
+            "a",
+            [
+                ElementDecl("a", content=(Particle(("b",),),)),
+                ElementDecl("b", content=(Particle(("c",),),)),
+                ElementDecl("c", content=(Particle(("b",), 0, 1),)),
+            ],
+        )
+        assert dtd.recursive_names() == frozenset({"b", "c"})
+
+    def test_attribute_decl_fields(self):
+        decl = AttributeDecl("id", constant("1"), presence=0.5)
+        assert decl.name == "id"
+        assert decl.presence == 0.5

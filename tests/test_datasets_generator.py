@@ -1,0 +1,118 @@
+"""Tests for the DTD-driven generator (repro.datasets.generator)."""
+
+from repro.datasets.dtd import (
+    AttributeDecl,
+    ElementDecl,
+    Particle,
+    constant,
+    make_dtd,
+)
+from repro.datasets.generator import DtdGenerator, GeneratorConfig
+from repro.stream.events import StartElement, document_depth, validate_events
+
+
+def simple_dtd():
+    return make_dtd(
+        "root",
+        [
+            ElementDecl("root", content=(Particle(("item",), 2, 4),)),
+            ElementDecl(
+                "item",
+                attributes=(AttributeDecl("id", constant("1")),),
+                text=constant("t"),
+            ),
+        ],
+    )
+
+
+def recursive_dtd():
+    return make_dtd(
+        "n",
+        [ElementDecl("n", content=(Particle(("n",), 0, 2, recursion_weight=0.7),))],
+    )
+
+
+class TestGeneration:
+    def test_events_are_well_formed(self):
+        events = DtdGenerator(simple_dtd()).events()
+        list(validate_events(events))  # raises on violation
+
+    def test_determinism_per_seed(self):
+        config = GeneratorConfig(seed=5)
+        first = list(DtdGenerator(simple_dtd(), config).events())
+        second = list(DtdGenerator(simple_dtd(), config).events())
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        base = recursive_dtd()
+        a = list(DtdGenerator(base, GeneratorConfig(seed=1)).events())
+        b = list(DtdGenerator(base, GeneratorConfig(seed=2)).events())
+        # Extremely unlikely to coincide; both are valid regardless.
+        assert a != b or len(a) <= 4
+
+    def test_repeat_counts_respect_bounds(self):
+        events = list(DtdGenerator(simple_dtd()).events())
+        items = [e for e in events if isinstance(e, StartElement) and e.tag == "item"]
+        assert 2 <= len(items) <= 4
+
+    def test_max_repeats_caps_unbounded_particles(self):
+        dtd = make_dtd(
+            "r",
+            [
+                ElementDecl("r", content=(Particle(("x",), 0, None),)),
+                ElementDecl("x"),
+            ],
+        )
+        config = GeneratorConfig(seed=3, max_repeats=2)
+        events = list(DtdGenerator(dtd, config).events())
+        xs = [e for e in events if isinstance(e, StartElement) and e.tag == "x"]
+        assert len(xs) <= 2
+
+    def test_number_levels_caps_depth(self):
+        config = GeneratorConfig(seed=11, number_levels=5)
+        events = list(DtdGenerator(recursive_dtd(), config).events())
+        assert document_depth(iter(events)) <= 5
+
+    def test_attributes_sampled(self):
+        events = DtdGenerator(simple_dtd()).events()
+        items = [e for e in events if isinstance(e, StartElement) and e.tag == "item"]
+        assert all(e.attributes == {"id": "1"} for e in items)
+
+    def test_text_generated(self):
+        from repro.stream.events import Characters
+
+        events = list(DtdGenerator(simple_dtd()).events())
+        texts = [e.text for e in events if isinstance(e, Characters)]
+        assert texts and all(t == "t" for t in texts)
+
+    def test_ids_are_document_ordered(self):
+        events = list(DtdGenerator(simple_dtd()).events())
+        ids = [e.node_id for e in events if isinstance(e, StartElement)]
+        assert ids == sorted(ids)
+        assert ids[0] == 1
+
+
+class TestForest:
+    def test_forest_wraps_count_roots(self):
+        events = list(DtdGenerator(simple_dtd()).forest_events("wrap", 3))
+        list(validate_events(iter(events)))
+        roots = [e for e in events if isinstance(e, StartElement) and e.tag == "root"]
+        assert len(roots) == 3
+        assert events[0].tag == "wrap"
+
+    def test_forest_records_differ(self):
+        events = list(DtdGenerator(recursive_dtd()).forest_events("w", 8))
+        # Heterogeneous records: not every record has the same length.
+        sizes = []
+        depth_down = 0
+        size = 0
+        for event in events[1:-1]:
+            if isinstance(event, StartElement):
+                depth_down += 1
+                size += 1
+            else:
+                depth_down -= 1
+                if depth_down == 0:
+                    sizes.append(size)
+                    size = 0
+        assert len(set(sizes)) > 1 or len(sizes) <= 2

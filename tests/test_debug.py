@@ -1,0 +1,84 @@
+"""Tests for machine introspection (repro.core.debug)."""
+
+from repro.core.branchm import BranchM
+from repro.core.debug import explain_query, render_machine, render_state, trace
+from repro.core.pathm import PathM
+from repro.core.twigm import TwigM
+from repro.stream.tokenizer import parse_string
+
+
+class TestRenderMachine:
+    def test_figure_4_shape(self):
+        machine = TwigM("//a[d]//b[e]//c").machine
+        text = render_machine(machine)
+        assert "machine for //a[d]//b[e]//c" in text
+        assert "<- root" in text
+        assert "<- return node" in text
+        for label in ("a", "b", "c", "d", "e"):
+            assert f"{label} (" in text
+
+    def test_edge_conditions_shown(self):
+        text = render_machine(TwigM("//a/*/c").machine)
+        assert "(>=,1)" in text  # root edge
+        assert "(=,2)" in text   # folded interior '*'
+
+    def test_tests_shown(self):
+        text = render_machine(TwigM("//a[@id = '7'][. = 'x']/b").machine)
+        assert "@id = '7'" in text
+        assert ". = 'x'" in text
+
+
+class TestRenderState:
+    def test_twigm_snapshot_mid_stream(self):
+        engine = TwigM("//a[d]//c")
+        events = list(parse_string("<a><c/><d/></a>"))
+        engine.feed(events[:2])  # <a><c>
+        text = render_state(engine)
+        assert "<L=1 B=FF" in text  # 'a' entry with two pending branches
+        assert "C=[2]" in text      # candidate c recorded
+
+    def test_pathm_snapshot(self):
+        engine = PathM("//a//b")
+        events = list(parse_string("<a><b><x/></b></a>"))
+        engine.feed(events[:2])
+        text = render_state(engine)
+        assert "<L=1>" in text and "<L=2>" in text
+
+    def test_branchm_snapshot(self):
+        engine = BranchM("/a[d]/b")
+        events = list(parse_string("<a><b/><d/></a>"))
+        engine.feed(events[:2])
+        text = render_state(engine)
+        assert "<L=1" in text
+        assert "(no match)" in text  # the d node has no match yet
+
+    def test_empty_state(self):
+        assert "(empty)" in render_state(TwigM("//a"))
+
+
+class TestTrace:
+    def test_trace_yields_event_snapshot_pairs(self):
+        engine = TwigM("//a[d]//c")
+        pairs = list(trace(engine, parse_string("<a><c/><d/></a>")))
+        assert len(pairs) == 6
+        events, snapshots = zip(*pairs)
+        assert all(isinstance(snapshot, str) for snapshot in snapshots)
+        assert engine.results == [2]
+
+    def test_trace_works_for_pathm(self):
+        engine = PathM("//a")
+        pairs = list(trace(engine, parse_string("<a/>")))
+        assert engine.results == [1]
+        assert len(pairs) == 2
+
+
+class TestExplainQuery:
+    def test_explains_fragment_and_machine(self):
+        text = explain_query("//a/*/c")
+        assert "XP{/,//,*}" in text
+        assert "PathM" in text
+        assert "interior * folded" in text
+
+    def test_explains_twigm_choice(self):
+        text = explain_query("//a[d]//c")
+        assert "TwigM" in text

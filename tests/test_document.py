@@ -1,0 +1,134 @@
+"""Tests for the in-memory XML tree (repro.stream.document)."""
+
+import pytest
+
+from repro.errors import StreamStateError
+from repro.stream.document import build_document
+from repro.stream.events import Characters, EndElement, StartElement
+from repro.stream.tokenizer import parse_string
+
+
+def doc_of(xml: str):
+    return build_document(parse_string(xml, skip_whitespace=False))
+
+
+class TestBuildDocument:
+    def test_root(self, book_catalog_document):
+        assert book_catalog_document.root.tag == "catalog"
+        assert book_catalog_document.root.level == 1
+        assert book_catalog_document.root.node_id == 1
+
+    def test_children(self):
+        document = doc_of("<a><b/><c/></a>")
+        assert [child.tag for child in document.root.children] == ["b", "c"]
+
+    def test_parent_links(self):
+        document = doc_of("<a><b><c/></b></a>")
+        c = document.root.children[0].children[0]
+        assert c.parent.tag == "b"
+        assert c.parent.parent.tag == "a"
+        assert document.root.parent is None
+
+    def test_attributes(self):
+        document = doc_of("<a x='1'><b y='2'/></a>")
+        assert document.root.attributes == {"x": "1"}
+        assert document.root.children[0].attributes == {"y": "2"}
+
+    def test_ids_match_stream(self):
+        document = doc_of("<a><b/><c><d/></c></a>")
+        ids = [element.node_id for element in document.iter_elements()]
+        assert ids == [1, 2, 3, 4]
+
+    def test_mismatched_events_rejected(self):
+        events = [StartElement("a", 1, 1, {}), EndElement("b", 1)]
+        with pytest.raises(StreamStateError):
+            build_document(events)
+
+    def test_unclosed_rejected(self):
+        with pytest.raises(StreamStateError, match="unclosed"):
+            build_document([StartElement("a", 1, 1, {})])
+
+    def test_empty_rejected(self):
+        with pytest.raises(StreamStateError, match="empty"):
+            build_document([])
+
+    def test_multiple_roots_rejected(self):
+        events = [
+            StartElement("a", 1, 1, {}), EndElement("a", 1),
+            StartElement("b", 1, 2, {}), EndElement("b", 1),
+        ]
+        with pytest.raises(StreamStateError, match="multiple"):
+            build_document(events)
+
+    def test_text_outside_root_rejected(self):
+        with pytest.raises(StreamStateError, match="outside"):
+            build_document([Characters("x", 0)])
+
+
+class TestTextHandling:
+    def test_direct_text(self):
+        document = doc_of("<a>hi</a>")
+        assert document.root.text == "hi"
+
+    def test_text_runs_preserved(self):
+        document = doc_of("<a>one<b/>two</a>")
+        assert document.root.text_runs == ["one", "two"]
+
+    def test_string_value_includes_descendants(self):
+        document = doc_of("<a>x<b>y<c>z</c></b>w</a>")
+        assert document.root.string_value() == "xyzw"
+
+    def test_string_value_document_order(self):
+        document = doc_of("<a><b>1</b>mid<c>2</c></a>")
+        assert document.root.string_value() == "1mid2"
+
+    def test_empty_string_value(self):
+        assert doc_of("<a><b/></a>").root.string_value() == ""
+
+
+class TestNavigation:
+    def test_iter_descendants_order(self):
+        document = doc_of("<a><b><c/></b><d/></a>")
+        assert [e.tag for e in document.root.iter_descendants()] == ["b", "c", "d"]
+
+    def test_iter_subtree_includes_self(self):
+        document = doc_of("<a><b/></a>")
+        assert [e.tag for e in document.root.iter_subtree()] == ["a", "b"]
+
+    def test_find_children_by_tag(self):
+        document = doc_of("<a><b/><c/><b/></a>")
+        assert len(document.root.find_children("b")) == 2
+
+    def test_find_children_wildcard(self):
+        document = doc_of("<a><b/><c/></a>")
+        assert len(document.root.find_children("*")) == 2
+
+    def test_element_count_and_depth(self):
+        document = doc_of("<a><b><c/></b></a>")
+        assert document.element_count() == 3
+        assert document.depth() == 3
+
+    def test_element_by_id(self):
+        document = doc_of("<a><b/><c/></a>")
+        assert document.element_by_id(3).tag == "c"
+        assert document.element_by_id(99) is None
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "xml",
+        [
+            "<a/>",
+            "<a><b/><c/></a>",
+            "<a x='1'>text<b>inner</b>tail</a>",
+        ],
+    )
+    def test_to_events_round_trip(self, xml):
+        original = list(parse_string(xml, skip_whitespace=False))
+        document = build_document(iter(original))
+        assert list(document.to_events()) == original
+
+    def test_to_events_can_drop_text(self):
+        document = doc_of("<a>text<b/></a>")
+        events = list(document.to_events(include_text=False))
+        assert all(not isinstance(e, Characters) for e in events)

@@ -1,0 +1,115 @@
+"""Tests for the eager-emission optimisation.
+
+When no trunk ancestor of the return node carries predicates, a
+satisfied return entry is already a solution (Proposition 4.2: stacks
+hold prefix-subquery solutions), so TwigM emits at the return element's
+end tag instead of buffering candidates until the root closes.
+"""
+
+import pytest
+
+from repro.core.fragments import FragmentCapture
+from repro.core.machine import build_machine
+from repro.core.results import CallbackSink
+from repro.core.twigm import TwigM
+from repro.stream.tokenizer import parse_string
+from repro.xpath.querytree import compile_query
+
+
+def machine_for(query):
+    return build_machine(compile_query(query))
+
+
+class TestEagerDetection:
+    @pytest.mark.parametrize(
+        "query, eager",
+        [
+            ("//a//b", True),                 # no predicates anywhere
+            ("//a/b[c]", True),               # predicates only on the return
+            ("//a//b[c[d]][@x]", True),       # ...however complex
+            ("//b[. = 'x']", True),           # root == return
+            ("//a[d]//b", False),             # predicate above
+            ("//a[@x]/b/c", False),           # attribute predicate above
+            ("//a[. = '1']//b", False),       # value test above
+            ("//a[x or y]/b", False),         # boolean condition above
+            ("//a[d]//b[e]//c", False),       # the paper's Q1
+        ],
+    )
+    def test_flag(self, query, eager):
+        assert machine_for(query).eager_return is eager
+
+
+class TestEagerLatency:
+    def test_emission_at_return_close_not_root_close(self):
+        emitted = []
+        machine = TwigM("//a/b[c]", sink=CallbackSink(emitted.append))
+        events = list(parse_string("<a><b><c/></b><x><y/></x></a>"))
+        machine.feed(events[:5])  # through </b>
+        assert emitted == [2], "must not wait for </a>"
+
+    def test_non_eager_waits_for_root(self):
+        emitted = []
+        machine = TwigM("//a[d]/b", sink=CallbackSink(emitted.append))
+        events = list(parse_string("<a><b/><d/></a>"))
+        machine.feed(events[:3])  # through <d/>'s start... b closed already
+        assert emitted == []
+        machine.feed(events[3:])
+        assert emitted == [2]
+
+    def test_no_candidate_buffering_in_eager_mode(self):
+        """Eager queries never accumulate candidate sets above the return
+        node — the root stack entries stay candidate-free."""
+        machine = TwigM("//a//b[c]")
+        events = list(parse_string("<a><b><c/></b><b><c/></b><x/></a>"))
+        machine.feed(events[:-1])  # keep <a> open
+        (root_entry,) = machine.stack_of(machine.machine.root)
+        assert root_entry.candidates is None
+        assert sorted(machine.results) == [2, 4]
+
+
+class TestEagerCorrectness:
+    CASES = [
+        ("//a//b", "<a><b><b/></b></a>", [2, 3]),
+        ("//a/b[c]", "<a><b><c/></b><b/></a>", [2]),
+        ("//b[@x]", "<r><b x='1'/><b/></r>", [2]),
+        ("//a//b[c][d]", "<a><b><c/><d/></b><b><c/></b></a>", [2]),
+    ]
+
+    @pytest.mark.parametrize("query, xml, expected", CASES)
+    def test_results(self, query, xml, expected):
+        assert sorted(TwigM(query).run(parse_string(xml))) == expected
+
+    def test_fragments_flush_eagerly(self):
+        capture = FragmentCapture("//a/b[c]")
+        events = list(parse_string("<a><b><c/>t</b><later/></a>"))
+        capture.feed(events[:6])  # through </b>
+        assert [f for _i, f in capture.fragments] == ["<b><c/>t</b>"]
+        assert capture.buffered_candidates == 0
+
+    def test_nested_eager_matches_each_emit(self):
+        machine = TwigM("//b")
+        machine.feed(parse_string("<a><b><b/></b></a>"))
+        assert sorted(machine.results) == [2, 3]
+
+
+class TestEagerOverride:
+    def test_force_off_reverts_to_root_close(self):
+        emitted = []
+        machine = TwigM("//a/b[c]", sink=CallbackSink(emitted.append), eager=False)
+        events = list(parse_string("<a><b><c/></b></a>"))
+        machine.feed(events[:5])  # through </b>
+        assert emitted == []
+        machine.feed(events[5:])  # </a>
+        assert emitted == [2]
+
+    def test_results_identical_either_way(self):
+        xml = "<a><b><c/></b><b/><b><c/></b></a>"
+        eager = TwigM("//a/b[c]").run(parse_string(xml))
+        lazy = TwigM("//a/b[c]", eager=False).run(parse_string(xml))
+        assert sorted(eager) == sorted(lazy)
+
+    def test_forcing_on_when_unsound_is_rejected(self):
+        from repro.errors import UnsupportedQueryError
+
+        with pytest.raises(UnsupportedQueryError, match="unsound"):
+            TwigM("//a[d]/b", eager=True)

@@ -1,0 +1,93 @@
+"""Differential testing: every engine agrees with the oracle.
+
+The oracle is the navigational DOM evaluator.  For each (query, document)
+pair, every engine that supports the query must return the same solution
+*set* (emission order legitimately differs across engines).
+"""
+
+import pytest
+
+from repro.baselines.enumerative import EnumerativeDomEngine
+from repro.baselines.explicit import ExplicitMatchEngine
+from repro.baselines.lazydfa import LazyDfaEngine
+from repro.baselines.navigational import NavigationalDomEngine
+from repro.bench.systems import TwigmEngine
+from repro.core.processor import XPathStream
+from repro.stream.tokenizer import parse_string
+from tests.conftest import chain_xml
+
+ORACLE = NavigationalDomEngine()
+
+ENGINES = [
+    TwigmEngine(),
+    LazyDfaEngine(),
+    ExplicitMatchEngine(),
+    EnumerativeDomEngine(),
+]
+
+DOCUMENTS = [
+    "<a/>",
+    "<a><b/></a>",
+    "<a><b/><b/><c/></a>",
+    "<a><b><c/></b><b/><c><b><c/></b></c></a>",
+    "<a><a><a><b/></a><b/></a></a>",
+    "<r><a><d/><b><e/><c/></b></a><a><b><c/></b></a></r>",
+    chain_xml(4),
+    chain_xml(3, with_predicates=False),
+    "<r><x p='1'><y>10</y><z/></x><x><y>20</y><z/></x><x p='2' q='3'><z/></x></r>",
+    "<a>text<b>more<c>deep</c></b>tail</a>",
+    "<a><b><a><b><a><b/></a></b></a></b></a>",
+]
+
+QUERIES = [
+    "//a",
+    "/a",
+    "/a/b",
+    "//b",
+    "//a//b",
+    "//a/b//c",
+    "//a//b//c",
+    "//*",
+    "//a/*",
+    "/*/b",
+    "//a/*/c",
+    "/a//c",
+    "//b/c",
+    "//a[b]",
+    "//a[b]/c",
+    "//a[d]//c",
+    "//a[d]//b[e]//c",
+    "//a[b][c]",
+    "//a[b[c]]",
+    "//a[.//c]/b",
+    "//x[@p]/z",
+    "//x[@p = '2']/z",
+    "//x[y = 10]/z",
+    "//x[y < 15]/z",
+    "//x[y != 10]/z",
+    "//b[. = 'moredeep']",
+    "//a[text() = 'texttail']/b",
+    "//*[@p][@q]",
+    "//a[b]//*",
+]
+
+
+@pytest.mark.parametrize("xml", DOCUMENTS, ids=range(len(DOCUMENTS)))
+@pytest.mark.parametrize("query", QUERIES)
+def test_engines_agree_with_oracle(query, xml):
+    events = list(parse_string(xml))
+    expected = sorted(ORACLE.run(query, iter(events)))
+    for engine in ENGINES:
+        if not engine.supports(query):
+            continue
+        actual = sorted(engine.run(query, iter(events)))
+        assert actual == expected, f"{engine.name} on {query!r} over {xml!r}"
+
+
+@pytest.mark.parametrize("query", QUERIES)
+def test_dispatched_processor_agrees_with_oracle(query):
+    for xml in DOCUMENTS:
+        events = list(parse_string(xml))
+        expected = sorted(ORACLE.run(query, iter(events)))
+        actual = sorted(XPathStream(query).evaluate(iter(events)))
+        assert actual == expected, f"auto-dispatch on {query!r} over {xml!r}"

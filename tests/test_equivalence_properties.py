@@ -1,0 +1,150 @@
+"""Property-based differential testing (Hypothesis).
+
+Random documents × random XP{/,//,*,[]} queries: the streaming TwigM
+evaluator must agree with the navigational DOM oracle on every pair.
+This is the strongest correctness check in the suite — it explores
+recursion patterns, predicate placements and axis mixes far beyond the
+curated cases.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.navigational import NavigationalDomEngine
+from repro.bench.systems import TwigmEngine
+from repro.core.processor import XPathStream
+from repro.stream.document import build_document
+from repro.stream.tokenizer import parse_string
+from repro.stream.writer import events_to_string
+
+TAGS = ("a", "b", "c", "d")
+ORACLE = NavigationalDomEngine()
+TWIGM = TwigmEngine()
+
+
+# -- random documents --------------------------------------------------------
+
+@st.composite
+def xml_trees(draw, depth=0):
+    tag = draw(st.sampled_from(TAGS))
+    attrs = ""
+    if draw(st.booleans()):
+        value = draw(st.integers(0, 3))
+        attrs = f" k='{value}'"
+    if depth >= 4:
+        children = []
+    else:
+        children = draw(
+            st.lists(xml_trees(depth=depth + 1), min_size=0, max_size=3)
+        )
+    text = draw(st.sampled_from(["", "", "", "1", "2", "x"]))
+    return f"<{tag}{attrs}>{text}{''.join(children)}</{tag}>"
+
+
+# -- random queries ----------------------------------------------------------
+
+@st.composite
+def predicate_atoms(draw, depth):
+    kind = draw(st.sampled_from(["path", "attr", "value", "attr_value"]))
+    if kind == "attr":
+        return "@k"
+    if kind == "attr_value":
+        return f"@k = '{draw(st.integers(0, 3))}'"
+    if kind == "value":
+        return f". = '{draw(st.sampled_from(['1', '2', 'x']))}'"
+    steps = draw(st.integers(1, 2)) if depth < 2 else 1
+    parts = []
+    for index in range(steps):
+        axis = draw(st.sampled_from(["/", "//"]))
+        name = draw(st.sampled_from(TAGS))
+        if index == 0:
+            parts.append(name if axis == "/" else f".//{name}")
+        else:
+            parts.append(f"{axis}{name}")
+    return "".join(parts)
+
+
+@st.composite
+def predicates(draw, depth):
+    """A bracketed predicate, sometimes with boolean connectives."""
+    shape = draw(st.sampled_from(["atom", "atom", "atom", "or", "and", "not"]))
+    if shape == "atom":
+        return f"[{draw(predicate_atoms(depth=depth))}]"
+    first = draw(predicate_atoms(depth=depth))
+    second = draw(predicate_atoms(depth=depth))
+    if shape == "or":
+        return f"[{first} or {second}]"
+    if shape == "and":
+        return f"[{first} and {second}]"
+    return f"[not({first})]"
+
+
+@st.composite
+def xpath_queries(draw):
+    n_steps = draw(st.integers(1, 4))
+    parts = []
+    for index in range(n_steps):
+        axis = draw(st.sampled_from(["/", "//"]))
+        name = draw(st.sampled_from(TAGS + ("*",)))
+        step = f"{axis}{name}"
+        if name != "*" and draw(st.integers(0, 3)) == 0:
+            step += draw(predicates(depth=1))
+        parts.append(step)
+    return "".join(parts)
+
+
+# -- properties ---------------------------------------------------------------
+
+@settings(max_examples=300, deadline=None)
+@given(xml=xml_trees(), query=xpath_queries())
+def test_twigm_agrees_with_oracle(xml, query):
+    events = list(parse_string(xml))
+    expected = sorted(ORACLE.run(query, iter(events)))
+    actual = sorted(TWIGM.run(query, iter(events)))
+    assert actual == expected, f"{query!r} over {xml!r}"
+
+
+@settings(max_examples=150, deadline=None)
+@given(xml=xml_trees(), query=xpath_queries())
+def test_dispatched_engine_agrees_with_oracle(xml, query):
+    """The PathM/BranchM fast paths are equivalent to TwigM."""
+    events = list(parse_string(xml))
+    expected = sorted(ORACLE.run(query, iter(events)))
+    actual = sorted(XPathStream(query).evaluate(iter(events)))
+    assert actual == expected, f"{query!r} over {xml!r}"
+
+
+@settings(max_examples=150, deadline=None)
+@given(xml=xml_trees())
+def test_tokenizer_round_trip(xml):
+    """parse → serialize → parse is the identity on events."""
+    events = list(parse_string(xml, skip_whitespace=False))
+    serialized = events_to_string(iter(events))
+    assert list(parse_string(serialized, skip_whitespace=False)) == events
+
+
+@settings(max_examples=100, deadline=None)
+@given(xml=xml_trees())
+def test_document_round_trip(xml):
+    events = list(parse_string(xml, skip_whitespace=False))
+    document = build_document(iter(events))
+    assert list(document.to_events()) == events
+
+
+@settings(max_examples=100, deadline=None)
+@given(xml=xml_trees(), query=xpath_queries())
+def test_twigm_stack_invariants(xml, query):
+    """Stack levels are strictly increasing and bounded by the depth."""
+    from repro.core.twigm import TwigM
+    from repro.stream.events import document_depth
+
+    events = list(parse_string(xml))
+    depth = document_depth(iter(events))
+    machine = TwigM(query)
+    for event in events:
+        machine.feed([event])
+        for node in machine.machine.iter_nodes():
+            stack = machine.stack_of(node)
+            levels = [entry.level for entry in stack]
+            assert levels == sorted(set(levels)), "levels strictly increasing"
+            assert len(stack) <= depth, "stack bounded by document depth"
+    assert machine.total_stack_entries() == 0

@@ -1,0 +1,55 @@
+"""Tests for the exception hierarchy (repro.errors)."""
+
+import pytest
+
+from repro.errors import (
+    ReproError,
+    StreamStateError,
+    UnsupportedQueryError,
+    XmlSyntaxError,
+    XPathSyntaxError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc_type",
+        [XmlSyntaxError, XPathSyntaxError, UnsupportedQueryError, StreamStateError],
+    )
+    def test_all_derive_from_repro_error(self, exc_type):
+        assert issubclass(exc_type, ReproError)
+        assert issubclass(exc_type, Exception)
+
+    def test_one_catch_covers_the_api(self):
+        """An API boundary can catch ReproError alone."""
+        from repro.core.processor import evaluate
+
+        for bad_call in (
+            lambda: evaluate("//a[", "<a/>"),
+            lambda: evaluate("//a", "<a><b></a>"),
+        ):
+            with pytest.raises(ReproError):
+                bad_call()
+
+
+class TestMessages:
+    def test_xml_error_position_formatting(self):
+        error = XmlSyntaxError("boom", line=3, column=7)
+        assert str(error) == "boom at line 3, column 7"
+        assert error.line == 3 and error.column == 7
+
+    def test_xml_error_line_only(self):
+        assert str(XmlSyntaxError("boom", line=3)) == "boom at line 3"
+
+    def test_xml_error_no_position(self):
+        error = XmlSyntaxError("boom")
+        assert str(error) == "boom"
+        assert error.line is None
+
+    def test_xpath_error_position(self):
+        error = XPathSyntaxError("bad token", position=5)
+        assert "position 5" in str(error)
+        assert error.position == 5
+
+    def test_xpath_error_no_position(self):
+        assert str(XPathSyntaxError("bad")) == "bad"

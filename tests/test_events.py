@@ -1,0 +1,116 @@
+"""Tests for the modified-SAX event model (repro.stream.events)."""
+
+import pytest
+
+from repro.errors import StreamStateError
+from repro.stream.events import (
+    Characters,
+    EndElement,
+    StartElement,
+    count_elements,
+    document_depth,
+    validate_events,
+)
+
+
+def _doc():
+    return [
+        StartElement("a", 1, 1, {}),
+        Characters("hi", 1),
+        StartElement("b", 2, 2, {"x": "1"}),
+        EndElement("b", 2),
+        EndElement("a", 1),
+    ]
+
+
+class TestEventObjects:
+    def test_start_element_fields(self):
+        event = StartElement("book", 2, 7, {"id": "3"})
+        assert event.tag == "book"
+        assert event.level == 2
+        assert event.node_id == 7
+        assert event.attributes == {"id": "3"}
+
+    def test_start_element_default_attributes_empty(self):
+        assert StartElement("a", 1, 1).attributes == {}
+
+    def test_events_are_frozen(self):
+        with pytest.raises(AttributeError):
+            StartElement("a", 1, 1).tag = "b"
+
+    def test_str_forms(self):
+        assert "book" in str(StartElement("book", 1, 1, {"k": "v"}))
+        assert "</b>" in str(EndElement("b", 2))
+        assert "chars" in str(Characters("t", 1))
+
+    def test_characters_fields(self):
+        event = Characters("text", 3)
+        assert event.text == "text"
+        assert event.level == 3
+
+
+class TestValidateEvents:
+    def test_valid_stream_passes_through(self):
+        events = _doc()
+        assert list(validate_events(events)) == events
+
+    def test_mismatched_end_tag(self):
+        events = [StartElement("a", 1, 1, {}), EndElement("b", 1)]
+        with pytest.raises(StreamStateError, match="does not match"):
+            list(validate_events(events))
+
+    def test_wrong_start_level(self):
+        events = [StartElement("a", 2, 1, {})]
+        with pytest.raises(StreamStateError, match="level"):
+            list(validate_events(events))
+
+    def test_end_without_start(self):
+        with pytest.raises(StreamStateError, match="without any open"):
+            list(validate_events([EndElement("a", 1)]))
+
+    def test_second_root_rejected(self):
+        events = [
+            StartElement("a", 1, 1, {}),
+            EndElement("a", 1),
+            StartElement("b", 1, 2, {}),
+            EndElement("b", 1),
+        ]
+        with pytest.raises(StreamStateError, match="second document element"):
+            list(validate_events(events))
+
+    def test_non_increasing_ids_rejected(self):
+        events = [
+            StartElement("a", 1, 5, {}),
+            StartElement("b", 2, 5, {}),
+        ]
+        with pytest.raises(StreamStateError, match="document order"):
+            list(validate_events(events))
+
+    def test_unclosed_document(self):
+        with pytest.raises(StreamStateError, match="unclosed"):
+            list(validate_events([StartElement("a", 1, 1, {})]))
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(StreamStateError, match="empty stream"):
+            list(validate_events([]))
+
+    def test_characters_outside_document(self):
+        with pytest.raises(StreamStateError, match="outside"):
+            list(validate_events([Characters("x", 1)]))
+
+    def test_characters_wrong_level(self):
+        events = [StartElement("a", 1, 1, {}), Characters("x", 5)]
+        with pytest.raises(StreamStateError, match="level"):
+            list(validate_events(events))
+
+
+class TestStreamMeasures:
+    def test_document_depth(self):
+        assert document_depth(_doc()) == 2
+
+    def test_count_elements(self):
+        assert count_elements(_doc()) == 2
+
+    def test_depth_of_flat_document(self):
+        events = [StartElement("a", 1, 1, {}), EndElement("a", 1)]
+        assert document_depth(events) == 1

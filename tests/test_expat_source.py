@@ -1,0 +1,72 @@
+"""Tests for the Expat-backed event source (repro.stream.expat_source)."""
+
+import pytest
+
+from repro.errors import XmlSyntaxError
+from repro.stream.events import Characters, StartElement
+from repro.stream.expat_source import (
+    ExpatSource,
+    expat_parse_chunks,
+    expat_parse_file,
+    expat_parse_string,
+)
+from repro.stream.tokenizer import parse_string
+
+DOCUMENTS = [
+    "<a/>",
+    "<a><b/><c/></a>",
+    "<a x='1' y='2'><b z='3'>text</b></a>",
+    "<a>x &amp; y &lt;z&gt;</a>",
+    "<r><a><a><a>deep</a></a></a></r>",
+    "<?xml version='1.0'?><a><!-- c --><b>t</b></a>",
+    "<a><![CDATA[<raw>]]></a>",
+]
+
+
+class TestAgreementWithTokenizer:
+    @pytest.mark.parametrize("xml", DOCUMENTS)
+    def test_same_events_as_pure_python_tokenizer(self, xml):
+        ours = list(parse_string(xml))
+        expats = list(expat_parse_string(xml))
+        assert expats == ours
+
+    def test_whitespace_skipping_matches(self):
+        xml = "<a>\n  <b/>  \n</a>"
+        assert list(expat_parse_string(xml)) == list(parse_string(xml))
+
+    def test_whitespace_kept_matches(self):
+        xml = "<a> <b/> </a>"
+        assert list(expat_parse_string(xml, skip_whitespace=False)) == list(
+            parse_string(xml, skip_whitespace=False)
+        )
+
+
+class TestExpatSpecifics:
+    def test_incremental_feed(self):
+        source = ExpatSource()
+        first = list(source.feed("<a><b>te"))
+        rest = list(source.feed("xt</b></a>")) + list(source.close())
+        tags = [e.tag for e in first + rest if isinstance(e, StartElement)]
+        assert tags == ["a", "b"]
+        texts = [e.text for e in first + rest if isinstance(e, Characters)]
+        assert texts == ["text"]
+
+    def test_syntax_error_carries_position(self):
+        with pytest.raises(XmlSyntaxError) as info:
+            list(expat_parse_string("<a><b></a>"))
+        assert info.value.line is not None
+
+    def test_incomplete_document_rejected_at_close(self):
+        source = ExpatSource()
+        list(source.feed("<a>"))
+        with pytest.raises(XmlSyntaxError):
+            list(source.close())
+
+    def test_parse_file(self, tmp_path):
+        path = tmp_path / "d.xml"
+        path.write_text("<a><b/></a>")
+        assert list(expat_parse_file(path)) == list(parse_string("<a><b/></a>"))
+
+    def test_parse_chunks(self):
+        chunks = ["<a>", "<b/>", "</a>"]
+        assert list(expat_parse_chunks(chunks)) == list(parse_string("<a><b/></a>"))

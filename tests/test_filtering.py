@@ -1,0 +1,117 @@
+"""Tests for shared-automaton query filtering (repro.core.filtering)."""
+
+import pytest
+
+from repro.core.filtering import FilterSet, PathFilterSet
+from repro.core.pathm import evaluate_pathm
+from repro.core.processor import XPathStream
+from repro.errors import UnsupportedQueryError
+from repro.stream.tokenizer import parse_string
+
+XML = (
+    "<site>"
+    "<people><person><name>Ana</name></person>"
+    "<person><name>Bo</name></person></people>"
+    "<items><item id='1'><name>vase</name><price>30</price></item>"
+    "<item><name>map</name></item></items>"
+    "</site>"
+)
+
+PATH_QUERIES = {
+    "names": "//name",
+    "people-names": "//person/name",
+    "items": "//items//item",
+    "rooted": "/site/people/person",
+    "wild": "//items/*/name",
+}
+
+
+class TestPathFilterSet:
+    def test_agrees_with_individual_pathm_runs(self):
+        events = list(parse_string(XML))
+        shared = PathFilterSet(PATH_QUERIES).run(iter(events))
+        for name, query in PATH_QUERIES.items():
+            alone = evaluate_pathm(query, iter(events))
+            assert shared[name] == alone, name
+
+    def test_on_match_streams(self):
+        seen = []
+        PathFilterSet({"names": "//name"}).run(
+            parse_string(XML), on_match=lambda name, nid: seen.append((name, nid))
+        )
+        assert seen and all(name == "names" for name, _ in seen)
+
+    def test_predicate_queries_rejected(self):
+        with pytest.raises(UnsupportedQueryError):
+            PathFilterSet({"bad": "//a[b]"})
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            PathFilterSet({})
+
+    def test_prefix_sharing_bounds_states(self):
+        """100 queries sharing structure need far fewer than 100x the
+        states of one query — the YFilter effect."""
+        single = PathFilterSet({"q": "//person/name"})
+        single.run(parse_string(XML))
+        lone_states = single.state_count
+
+        many_queries = {f"q{i}": "//person/name" for i in range(50)}
+        many_queries.update({f"p{i}": "//items//item" for i in range(50)})
+        shared = PathFilterSet(many_queries)
+        shared.run(parse_string(XML))
+        assert shared.state_count < 10 * lone_states
+
+    def test_matches_on_recursive_data(self):
+        xml = "<a><a><b/></a><b/></a>"
+        result = PathFilterSet({"ab": "//a//b"}).run(parse_string(xml))
+        assert result["ab"] == [3, 4]
+
+
+class TestFilterSet:
+    MIXED = {
+        "names": "//name",
+        "cheap": "//item[price = 30]/name",
+        "with-id": "//item[@id]/name",
+    }
+
+    def test_hybrid_routing(self):
+        routes = FilterSet(self.MIXED).routing()
+        assert routes["names"] == "shared-dfa"
+        assert routes["cheap"] == "twigm"
+        assert routes["with-id"] == "twigm"
+
+    def test_results_match_individual_runs(self):
+        events = list(parse_string(XML))
+        combined = FilterSet(self.MIXED).evaluate(iter(events))
+        for name, query in self.MIXED.items():
+            alone = XPathStream(query).evaluate(iter(events))
+            assert sorted(combined[name]) == sorted(alone), name
+
+    def test_all_path_queries_use_the_shared_dfa(self):
+        filters = FilterSet(PATH_QUERIES)
+        assert set(filters.routing().values()) == {"shared-dfa"}
+        assert filters.shared_state_count >= 1
+
+    def test_callback_mode(self):
+        seen = []
+        filters = FilterSet(self.MIXED, on_match=lambda n, i: seen.append(n))
+        filters.evaluate(XML)
+        assert "names" in seen and "cheap" in seen
+
+    def test_incremental_text_feed(self):
+        filters = FilterSet(self.MIXED)
+        for index in range(0, len(XML), 13):
+            filters.feed_text(XML[index:index + 13])
+        results = filters.close()
+        assert results["names"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FilterSet({})
+
+    def test_no_path_queries_still_works(self):
+        filters = FilterSet({"cheap": "//item[price = 30]/name"})
+        assert filters.shared_state_count == 0
+        results = filters.evaluate(XML)
+        assert len(results["cheap"]) == 1

@@ -1,0 +1,136 @@
+"""Tests for TwigM machine construction (repro.core.machine, §4.2)."""
+
+from repro.core.machine import EDGE_EQ, EDGE_GE, build_machine
+from repro.xpath.querytree import compile_query
+
+
+def machine_for(query):
+    return build_machine(compile_query(query))
+
+
+class TestBasicConstruction:
+    def test_chain_machine(self):
+        machine = machine_for("/a/b/c")
+        assert machine.root.label == "a"
+        assert machine.root.edge_op == EDGE_EQ
+        assert machine.root.edge_dist == 1
+        b = machine.root.children[0]
+        assert (b.label, b.edge_op, b.edge_dist) == ("b", EDGE_EQ, 1)
+        assert machine.return_node.label == "c"
+
+    def test_descendant_edges(self):
+        machine = machine_for("//a//b")
+        assert machine.root.edge_op == EDGE_GE
+        assert machine.root.children[0].edge_op == EDGE_GE
+
+    def test_paper_example_m1(self):
+        """Figure 4: machine for //a[d]//b[e]//c has five nodes."""
+        machine = machine_for("//a[d]//b[e]//c")
+        labels = sorted(node.label for node in machine.iter_nodes())
+        assert labels == ["a", "b", "c", "d", "e"]
+        assert machine.size() == 5
+
+    def test_child_indices_match_branch_positions(self):
+        machine = machine_for("//a[d][e]/b")
+        for index, child in enumerate(machine.root.children):
+            assert child.child_index == index
+
+    def test_complete_mask(self):
+        machine = machine_for("//a[d][e]/b")
+        assert machine.root.complete_mask == 0b111  # three children
+        leaf = machine.return_node
+        assert leaf.complete_mask == 0
+
+    def test_return_node_flag(self):
+        machine = machine_for("//a/b")
+        assert not machine.root.is_return
+        assert machine.return_node.is_return
+
+
+class TestWildcardFolding:
+    def test_interior_star_folds_into_distance(self):
+        """Section 4.2: no machine node for interior '*' nodes."""
+        machine = machine_for("//a/*/c")
+        assert machine.size() == 2
+        c = machine.return_node
+        assert (c.edge_op, c.edge_dist) == (EDGE_EQ, 2)
+
+    def test_two_interior_stars(self):
+        machine = machine_for("/a/*/*/d")
+        d = machine.return_node
+        assert (d.edge_op, d.edge_dist) == (EDGE_EQ, 3)
+
+    def test_descendant_anywhere_in_chain_gives_ge(self):
+        machine = machine_for("//a//*/c")
+        c = machine.return_node
+        assert (c.edge_op, c.edge_dist) == (EDGE_GE, 2)
+
+    def test_star_then_descendant(self):
+        machine = machine_for("/a/*//c")
+        c = machine.return_node
+        assert (c.edge_op, c.edge_dist) == (EDGE_GE, 2)
+
+    def test_leading_star_folds_into_root_edge(self):
+        machine = machine_for("/*/b")
+        assert machine.root.label == "b"
+        assert (machine.root.edge_op, machine.root.edge_dist) == (EDGE_EQ, 2)
+
+    def test_star_return_node_is_materialised(self):
+        machine = machine_for("//a/*")
+        assert machine.return_node.label == "*"
+        assert machine.size() == 2
+
+    def test_star_leaf_in_predicate_is_materialised(self):
+        machine = machine_for("//a[*]/b")
+        labels = sorted(node.label for node in machine.iter_nodes())
+        assert labels == ["*", "a", "b"]
+
+    def test_star_with_predicate_is_materialised(self):
+        machine = machine_for("//*[d]/b")
+        assert machine.root.label == "*"
+
+    def test_star_in_predicate_path_folds(self):
+        machine = machine_for("//a[*/e]/b")
+        labels = sorted(node.label for node in machine.iter_nodes())
+        assert labels == ["a", "b", "e"]
+        e = next(node for node in machine.iter_nodes() if node.label == "e")
+        assert (e.edge_op, e.edge_dist) == (EDGE_EQ, 2)
+
+
+class TestDispatch:
+    def test_nodes_for_tag(self):
+        machine = machine_for("//a//a/b")
+        assert len(machine.nodes_for_tag("a")) == 2
+        assert len(machine.nodes_for_tag("b")) == 1
+        assert machine.nodes_for_tag("zzz") == []
+
+    def test_wildcards_receive_every_tag(self):
+        machine = machine_for("//a/*")
+        assert len(machine.nodes_for_tag("a")) == 2  # a-node + '*'
+        assert len(machine.nodes_for_tag("anything")) == 1
+
+    def test_value_nodes_collected(self):
+        machine = machine_for("//book[price < 30]/title")
+        assert [node.label for node in machine.value_nodes] == ["price"]
+
+    def test_attribute_tests_on_machine_node(self):
+        machine = machine_for("//a[@id = '7']/b")
+        assert machine.root.attribute_tests
+        assert machine.root.attributes_satisfied({"id": "7"})
+        assert not machine.root.attributes_satisfied({"id": "8"})
+        assert not machine.root.attributes_satisfied({})
+
+
+class TestEdgePredicate:
+    def test_eq_edge(self):
+        machine = machine_for("/a/b")
+        b = machine.return_node
+        assert b.edge_satisfied(1)
+        assert not b.edge_satisfied(2)
+
+    def test_ge_edge(self):
+        machine = machine_for("/a//b")
+        b = machine.return_node
+        assert b.edge_satisfied(1)
+        assert b.edge_satisfied(5)
+        assert not b.edge_satisfied(0)

@@ -1,0 +1,71 @@
+"""Tests for multi-query evaluation (repro.core.multiquery)."""
+
+import pytest
+
+from repro.core.multiquery import MultiQueryStream
+from repro.core.processor import XPathStream
+from repro.stream.tokenizer import parse_string
+
+
+XML = (
+    "<catalog>"
+    "<book year='2006'><price>25</price><title>A</title></book>"
+    "<book year='1999'><price>60</price><title>B</title></book>"
+    "</catalog>"
+)
+
+QUERIES = {
+    "cheap": "//book[price < 30]/title",
+    "recent": "//book[@year = '2006']/title",
+    "titles": "//title",
+}
+
+
+class TestEvaluation:
+    def test_one_pass_matches_individual_runs(self):
+        combined = MultiQueryStream(QUERIES).evaluate(XML)
+        for name, query in QUERIES.items():
+            alone = XPathStream(query).evaluate(XML)
+            assert sorted(combined[name]) == sorted(alone), name
+
+    def test_engine_dispatch_per_query(self):
+        engines = MultiQueryStream(QUERIES).engine_names()
+        assert engines["titles"] == "pathm"
+        assert engines["cheap"] == "twigm"
+
+    def test_names(self):
+        assert MultiQueryStream(QUERIES).names == list(QUERIES)
+
+    def test_empty_query_set_rejected(self):
+        with pytest.raises(ValueError):
+            MultiQueryStream({})
+
+
+class TestIncremental:
+    def test_feed_text_chunks(self):
+        feed = MultiQueryStream(QUERIES)
+        for index in range(0, len(XML), 16):
+            feed.feed_text(XML[index:index + 16])
+        results = feed.close()
+        assert results["titles"] == [4, 7]
+
+    def test_callback_mode(self):
+        seen = []
+        feed = MultiQueryStream(QUERIES, on_match=lambda name, i: seen.append((name, i)))
+        feed.feed_events(parse_string(XML))
+        assert ("titles", 4) in seen
+        assert ("cheap", 4) in seen
+        assert ("recent", 4) in seen
+        assert feed.close() is None
+
+    def test_results_unavailable_in_callback_mode(self):
+        feed = MultiQueryStream(QUERIES, on_match=lambda n, i: None)
+        with pytest.raises(AttributeError):
+            feed.results()
+        assert feed.evaluate(XML) == {}
+
+    def test_reset(self):
+        feed = MultiQueryStream({"t": "//title"})
+        feed.evaluate(XML)
+        feed.reset()
+        assert feed.evaluate("<catalog><title/></catalog>")["t"] == [2]

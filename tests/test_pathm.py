@@ -1,0 +1,105 @@
+"""Tests for PathM (repro.core.pathm, §3.1)."""
+
+import pytest
+
+from repro.core.pathm import PathM, evaluate_pathm
+from repro.core.results import CallbackSink
+from repro.errors import UnsupportedQueryError
+from repro.stream.tokenizer import parse_string
+from tests.conftest import chain_xml, chain_c1_id
+
+
+def run(query, xml):
+    return evaluate_pathm(query, parse_string(xml))
+
+
+class TestBasicPaths:
+    def test_child_path(self):
+        assert run("/a/b", "<a><b/><c><b/></c></a>") == [2]
+
+    def test_descendant_path(self):
+        assert run("//b", "<a><b/><c><b/></c></a>") == [2, 4]
+
+    def test_root_must_match_document_element(self):
+        assert run("/b", "<a><b/></a>") == []
+        assert run("/a", "<a><b/></a>") == [1]
+
+    def test_descendant_root_matches_anywhere(self):
+        assert run("//a", "<a><x><a/></x></a>") == [1, 3]
+
+    def test_mixed_axes(self):
+        assert run("/a//c", "<a><b><c/></b><c/></a>") == [3, 4]
+
+    def test_wildcard(self):
+        assert run("//a/*", "<a><b/><c/></a>") == [2, 3]
+
+    def test_interior_wildcard(self):
+        assert run("//a/*/d", "<a><b><d/></b><d/></a>") == [3]
+
+    def test_no_matches(self):
+        assert run("//zzz", "<a><b/></a>") == []
+
+    def test_empty_elements(self):
+        assert run("//a//b", "<a/>") == []
+
+
+class TestPaperExample:
+    def test_figure_2_execution(self):
+        """M2 = //a//b//c over the a…b…c chain outputs c₁ on arrival."""
+        xml = chain_xml(3, with_predicates=False)
+        assert run("//a//b//c", xml) == [chain_c1_id(3, with_predicates=False)]
+
+    def test_all_pattern_matches_share_one_solution(self):
+        xml = chain_xml(5, with_predicates=False)
+        results = run("//a//b//c", xml)
+        assert len(results) == 1  # n² matches, one distinct solution
+
+
+class TestIncrementalOutput:
+    def test_solution_emitted_at_start_tag(self):
+        """PathM reports a solution the moment its start tag qualifies."""
+        emitted = []
+        machine = PathM("//a//c", sink=CallbackSink(emitted.append))
+        events = list(parse_string("<a><c><x/></c></a>"))
+        machine.feed(events[:2])  # <a>, <c>
+        assert emitted == [2]  # before </c> is even seen
+
+    def test_stacks_pop_on_end(self):
+        machine = PathM("//a//b")
+        events = list(parse_string("<a><b/><b/></a>"))
+        machine.feed(events)
+        for node in machine.machine.iter_nodes():
+            assert machine.stack_of(node) == []
+
+
+class TestRecursiveData:
+    def test_recursive_descendants(self):
+        xml = "<a><a><b/></a><b/></a>"
+        assert run("//a//b", xml) == [3, 4]
+
+    def test_child_axis_under_recursion(self):
+        xml = "<a><a><b/></a></a>"
+        assert run("/a/a/b", xml) == [3]
+        assert run("/a/b", xml) == []
+
+    def test_same_tag_parent_child(self):
+        assert run("//a/a", "<a><a><a/></a></a>") == [2, 3]
+
+
+class TestGating:
+    def test_predicates_rejected(self):
+        with pytest.raises(UnsupportedQueryError, match="predicates"):
+            PathM("//a[b]")
+
+    def test_value_test_rejected(self):
+        with pytest.raises(UnsupportedQueryError):
+            PathM("//a[. = 'x']")
+
+    def test_reset_clears_state(self):
+        machine = PathM("//a")
+        machine.feed(parse_string("<a><a/></a>"))
+        assert machine.results == [1, 2]
+        machine.reset()
+        assert machine.results == [1, 2]  # sink unaffected by reset
+        for node in machine.machine.iter_nodes():
+            assert machine.stack_of(node) == []

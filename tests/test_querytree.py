@@ -1,0 +1,196 @@
+"""Tests for query-tree compilation (repro.xpath.querytree)."""
+
+import pytest
+
+from repro.errors import UnsupportedQueryError, XPathSyntaxError
+from repro.xpath.querytree import (
+    CHILD_EDGE,
+    DESCENDANT_EDGE,
+    AttributeTest,
+    ValueTest,
+    compile_query,
+)
+
+
+class TestTrunkStructure:
+    def test_chain(self):
+        tree = compile_query("/a/b/c")
+        assert tree.root.name == "a"
+        assert tree.root.axis == CHILD_EDGE
+        b = tree.root.children[0]
+        assert (b.name, b.axis, b.on_trunk) == ("b", CHILD_EDGE, True)
+        c = b.children[0]
+        assert c.is_return and tree.return_node is c
+
+    def test_descendant_edges(self):
+        tree = compile_query("//a//b")
+        assert tree.root.axis == DESCENDANT_EDGE
+        assert tree.root.children[0].axis == DESCENDANT_EDGE
+
+    def test_single_step_root_is_return(self):
+        tree = compile_query("//a")
+        assert tree.root.is_return
+        assert tree.return_node is tree.root
+
+    def test_size_counts_all_nodes(self):
+        assert compile_query("//a[d]//b[e]//c").size() == 5
+
+    def test_node_ids_unique(self):
+        tree = compile_query("//a[b][c/d]//e")
+        ids = [node.node_id for node in tree.iter_nodes()]
+        assert len(ids) == len(set(ids))
+
+    def test_source_preserved(self):
+        assert str(compile_query("//a[b]/c")) == "//a[b]/c"
+
+
+class TestBranches:
+    def test_branch_children_not_on_trunk(self):
+        tree = compile_query("//a[d]/b")
+        trunk = [child for child in tree.root.children if child.on_trunk]
+        branches = [child for child in tree.root.children if not child.on_trunk]
+        assert [c.name for c in trunk] == ["b"]
+        assert [c.name for c in branches] == ["d"]
+
+    def test_paper_query_q1_shape(self):
+        """//a[d]//b[e]//c — figure 1(b)'s tree."""
+        tree = compile_query("//a[d]//b[e]//c")
+        a = tree.root
+        assert a.name == "a" and a.is_branching
+        names = sorted(child.name for child in a.children)
+        assert names == ["b", "d"]
+        b = next(child for child in a.children if child.on_trunk)
+        assert sorted(child.name for child in b.children) == ["c", "e"]
+        c = next(child for child in b.children if child.on_trunk)
+        assert c.is_return and c.is_branching  # return nodes are branching
+
+    def test_nested_predicate_path(self):
+        tree = compile_query("//a[b/c]")
+        (b,) = [child for child in tree.root.children if not child.on_trunk]
+        assert b.name == "b"
+        assert b.children[0].name == "c"
+
+    def test_and_becomes_two_branches(self):
+        tree = compile_query("//a[b and c]")
+        assert sorted(ch.name for ch in tree.root.children) == ["b", "c"]
+
+    def test_predicate_with_descendant_axis(self):
+        tree = compile_query("//a[.//e]")
+        (e,) = tree.root.children
+        assert e.axis == DESCENDANT_EDGE
+
+
+class TestValueAndAttributeTests:
+    def test_self_value_test(self):
+        tree = compile_query("//a[. = 'x']")
+        assert tree.root.value_tests == [ValueTest("=", "x")]
+
+    def test_text_value_test(self):
+        tree = compile_query("//a[text() = 'x']")
+        assert tree.root.value_tests == [ValueTest("=", "x")]
+
+    def test_child_value_test_lands_on_leaf(self):
+        tree = compile_query("//book[price < 30]")
+        (price,) = tree.root.children
+        assert price.name == "price"
+        assert price.value_tests == [ValueTest("<", 30.0)]
+
+    def test_attribute_existence(self):
+        tree = compile_query("//a[@id]")
+        assert tree.root.attribute_tests == [AttributeTest("id")]
+        assert not tree.root.children
+
+    def test_attribute_value(self):
+        tree = compile_query("//a[@id = '7']")
+        (test,) = tree.root.attribute_tests
+        assert test.name == "id"
+        assert test.value_test == ValueTest("=", "7")
+
+    def test_attribute_at_end_of_predicate_path(self):
+        tree = compile_query("//a[b/@id]")
+        (b,) = tree.root.children
+        assert b.attribute_tests == [AttributeTest("id")]
+
+
+class TestValueTestSemantics:
+    def test_string_equality(self):
+        assert ValueTest("=", "x").evaluate("x")
+        assert not ValueTest("=", "x").evaluate("y")
+
+    def test_string_inequality(self):
+        assert ValueTest("!=", "x").evaluate("y")
+
+    def test_numeric_comparisons(self):
+        assert ValueTest("<", 30.0).evaluate("25")
+        assert not ValueTest("<", 30.0).evaluate("35")
+        assert ValueTest(">=", 10.0).evaluate(" 10 ")
+
+    def test_numeric_against_non_numeric_data_fails(self):
+        assert not ValueTest("<", 30.0).evaluate("cheap")
+
+    def test_ordered_comparison_with_string_literal_coerces(self):
+        assert ValueTest("<", "30").evaluate("25")
+        assert not ValueTest("<", "30").evaluate("banana")
+
+    def test_attribute_test_semantics(self):
+        test = AttributeTest("id", ValueTest("=", "7"))
+        assert test.evaluate({"id": "7"})
+        assert not test.evaluate({"id": "8"})
+        assert not test.evaluate({})
+        assert AttributeTest("id").evaluate({"id": "anything"})
+
+    def test_str_forms(self):
+        assert str(ValueTest("<", 30.0)) == "< 30"
+        assert str(AttributeTest("id", ValueTest("=", "7"))) == "@id = '7'"
+
+
+class TestFragmentClassification:
+    @pytest.mark.parametrize(
+        "query, fragment",
+        [
+            ("//a//b", "XP{/,//,*}"),
+            ("/a/b/c", "XP{/,//,*}"),
+            ("//a/*/b", "XP{/,//,*}"),
+            ("/a[b]/c", "XP{/,[]}"),
+            ("/a[b][c]/d", "XP{/,[]}"),
+            ("/a[@id]/b", "XP{/,[]}"),
+            ("//a[b]", "XP{/,//,*,[]}"),
+            ("/a[b]//c", "XP{/,//,*,[]}"),
+            ("/a[*]/b", "XP{/,//,*,[]}"),
+            ("/a[. = 'x']/b", "XP{/,[]}"),
+        ],
+    )
+    def test_fragment(self, query, fragment):
+        assert compile_query(query).fragment() == fragment
+
+    def test_has_branches(self):
+        assert compile_query("//a[b]").has_branches()
+        assert compile_query("//a[@x]").has_branches()
+        assert compile_query("//a[. = '1']").has_branches()
+        assert not compile_query("//a//b").has_branches()
+
+    def test_has_descendant_axis(self):
+        assert compile_query("//a").has_descendant_axis()
+        assert compile_query("/a[.//b]").has_descendant_axis()
+        assert not compile_query("/a/b").has_descendant_axis()
+
+    def test_has_wildcard(self):
+        assert compile_query("/a/*").has_wildcard()
+        assert compile_query("/a[*/b]").has_wildcard()
+        assert not compile_query("/a/b").has_wildcard()
+
+
+class TestCompileErrors:
+    def test_syntax_error_propagates(self):
+        with pytest.raises(XPathSyntaxError):
+            compile_query("//a[")
+
+    def test_attribute_result_unsupported(self):
+        with pytest.raises(XPathSyntaxError):
+            compile_query("//a/@id")
+
+    def test_accepts_precompiled_ast(self):
+        from repro.xpath.parser import parse_xpath
+
+        tree = compile_query(parse_xpath("//a/b"))
+        assert tree.root.name == "a"

@@ -1,0 +1,54 @@
+"""Tests for result sinks (repro.core.results)."""
+
+import pytest
+
+from repro.core.results import CallbackSink, CollectingSink, CountingSink, ResultSink
+
+
+class TestCollectingSink:
+    def test_collects_in_order(self):
+        sink = CollectingSink()
+        sink.emit(3)
+        sink.emit(1)
+        sink.emit(2)
+        assert sink.results == [3, 1, 2]
+
+    def test_deduplicates(self):
+        sink = CollectingSink()
+        for node_id in (1, 2, 1, 3, 2):
+            sink.emit(node_id)
+        assert sink.results == [1, 2, 3]
+
+    def test_emit_all(self):
+        sink = CollectingSink()
+        sink.emit_all([5, 6, 5])
+        assert sink.results == [5, 6]
+
+    def test_len_and_iter(self):
+        sink = CollectingSink()
+        sink.emit_all([1, 2])
+        assert len(sink) == 2
+        assert list(sink) == [1, 2]
+
+
+class TestCallbackSink:
+    def test_forwards_each_new_id(self):
+        seen = []
+        sink = CallbackSink(seen.append)
+        sink.emit(1)
+        sink.emit(1)
+        sink.emit(2)
+        assert seen == [1, 2]
+
+
+class TestCountingSink:
+    def test_counts_distinct(self):
+        sink = CountingSink()
+        sink.emit_all([1, 1, 2, 3, 3, 3])
+        assert sink.count == 3
+
+
+class TestProtocol:
+    def test_base_emit_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            ResultSink().emit(1)

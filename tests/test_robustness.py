@@ -1,0 +1,119 @@
+"""Robustness and failure-injection tests.
+
+Streaming engines must be iterative (no recursion in the document
+dimension): a depth-5000 document is business as usual for TwigM even
+though naive recursive evaluators would blow the interpreter stack.
+Also covers hostile inputs: huge attributes, long text runs, many
+siblings, and pathological queries.
+"""
+
+import sys
+
+import pytest
+
+from repro.core.processor import XPathStream, evaluate
+from repro.core.twigm import TwigM
+from repro.errors import ReproError, XPathSyntaxError, XmlSyntaxError
+from repro.stream.tokenizer import parse_string
+from repro.xpath.querytree import compile_query
+
+
+def deep_xml(depth: int, tag: str = "d") -> str:
+    return f"<{tag}>" * depth + f"</{tag}>" * depth
+
+
+class TestDeepDocuments:
+    def test_twigm_handles_depth_beyond_python_recursion(self):
+        depth = sys.getrecursionlimit() + 2000
+        xml = deep_xml(depth)
+        results = evaluate("//d[not(d)]", xml)
+        assert results == [depth]  # exactly the innermost element
+
+    def test_pathm_handles_deep_documents(self):
+        depth = sys.getrecursionlimit() + 2000
+        results = evaluate("//d//d", deep_xml(depth))
+        assert len(results) == depth - 1
+
+    def test_stacks_track_depth_exactly(self):
+        depth = 3000
+        machine = TwigM("//d[x]")
+        events = list(parse_string(deep_xml(depth)))
+        machine.feed(events[:depth])  # all opens
+        assert machine.total_stack_entries() == depth
+        machine.feed(events[depth:])
+        assert machine.total_stack_entries() == 0
+
+    def test_tokenizer_is_iterative(self):
+        depth = 50_000
+        count = sum(1 for _ in parse_string(deep_xml(depth)))
+        assert count == 2 * depth
+
+
+class TestWideDocuments:
+    def test_many_siblings(self):
+        xml = "<r>" + "<a><b/></a>" * 20_000 + "</r>"
+        assert len(evaluate("//a[b]", xml)) == 20_000
+
+    def test_many_attributes(self):
+        attrs = " ".join(f"k{i}='{i}'" for i in range(500))
+        xml = f"<r><a {attrs}/></r>"
+        assert evaluate("//a[@k499 = '499']", xml) == [2]
+
+    def test_long_text_run(self):
+        xml = f"<r><a>{'x' * 1_000_000}</a></r>"
+        assert evaluate("//a[. != '']", xml) == [2]
+
+
+class TestHostileQueries:
+    def test_many_predicates_on_one_step(self):
+        tags = "".join(f"[c{i}]" for i in range(40))
+        xml = "<r><a>" + "".join(f"<c{i}/>" for i in range(40)) + "<t/></a></r>"
+        assert evaluate(f"//a{tags}/t", xml) == [43]
+
+    def test_deeply_nested_predicates(self):
+        query = "//a[b[c[d[e[f]]]]]"
+        xml = "<r><a><b><c><d><e><f/></e></d></c></b></a></r>"
+        assert evaluate(query, xml) == [2]
+
+    def test_long_trunk(self):
+        steps = 60
+        query = "/" + "/".join("s" for _ in range(steps))
+        xml = "<s>" * steps + "</s>" * steps
+        assert evaluate(query, xml) == [steps]
+
+    def test_same_tag_everywhere(self):
+        query = "//a[a]//a[a]/a"
+        xml = "<a><a><a><a><a/></a></a></a></a>"
+        from repro.baselines.navigational import NavigationalDomEngine
+
+        events = list(parse_string(xml))
+        oracle = sorted(NavigationalDomEngine().run(query, iter(events)))
+        assert sorted(evaluate(query, iter(events))) == oracle
+
+    def test_absurd_but_valid_wildcard_chain(self):
+        query = "//*/*/*/*/*"
+        xml = "<a><b><c><d><e><f/></e></d></c></b></a>"
+        assert sorted(evaluate(query, xml)) == [5, 6]
+
+
+class TestErrorPaths:
+    def test_unknown_engine_errors_cleanly(self):
+        with pytest.raises(ValueError):
+            XPathStream("//a", engine="quantum")
+
+    @pytest.mark.parametrize("query", ["", "//", "//a[", "a", "//a//", "//a[]"])
+    def test_bad_queries_raise_syntax_errors(self, query):
+        with pytest.raises(XPathSyntaxError):
+            compile_query(query)
+
+    @pytest.mark.parametrize(
+        "xml",
+        ["", "<", "<a", "<a><b>", "<a></b>", "text only", "<a/><b/>"],
+    )
+    def test_bad_documents_raise_xml_errors(self, xml):
+        with pytest.raises(XmlSyntaxError):
+            evaluate("//a", xml if "<" in xml else iter([xml]))
+
+    def test_everything_is_a_repro_error(self):
+        for exc_type in (XPathSyntaxError, XmlSyntaxError):
+            assert issubclass(exc_type, ReproError)

@@ -1,0 +1,173 @@
+"""Tests for TwigM (repro.core.twigm, §3.3 and §4)."""
+
+import pytest
+
+from repro.core.results import CallbackSink
+from repro.core.twigm import TwigM, evaluate_twigm
+from repro.stream.tokenizer import parse_string
+from tests.conftest import chain_c1_id, chain_xml
+
+
+def run(query, xml):
+    return evaluate_twigm(query, parse_string(xml))
+
+
+class TestPaperRunningExample:
+    def test_q1_on_figure_1(self, figure1_xml, figure1_c1):
+        """//a[d]//b[e]//c finds exactly c₁ (match (a₁,b₁,c₁))."""
+        assert run("//a[d]//b[e]//c", figure1_xml) == [figure1_c1]
+
+    def test_q1_without_satisfying_predicates(self):
+        xml = chain_xml(4, with_predicates=False)
+        assert run("//a[d]//b[e]//c", xml) == []
+
+    def test_intro_query_child_axis_variant(self, figure1_xml):
+        """//a/b[e]//c: only (aₙ, b₁) are parent-child; e is under b₁."""
+        assert run("//a/b[e]//c", figure1_xml) == [chain_c1_id(4)]
+        # ...but aₙ has no d child, so adding [d] to the parent empties it.
+        assert run("//a[d]/b[e]//c", figure1_xml) == []
+
+    def test_compact_encoding_bound(self):
+        """During the run, stacks hold ≤ 2n+1 entries, never n²."""
+        n = 30
+        machine = TwigM("//a[d]//b[e]//c")
+        peak = 0
+        for event in parse_string(chain_xml(n)):
+            machine.feed([event])
+            peak = max(peak, machine.total_stack_entries())
+        assert peak <= 2 * n + 3  # 2n chain entries + c + slack
+        assert machine.results == [chain_c1_id(n)]
+
+
+class TestPredicateSemantics:
+    def test_existential_predicate(self):
+        xml = "<r><a><d/><k/></a><a><k/></a></r>"
+        assert run("//a[d]/k", xml) == [4]
+
+    def test_predicate_after_candidate(self):
+        xml = "<a><b><c/></b><d/></a>"
+        assert run("//a[d]//c", xml) == [3]
+
+    def test_nested_predicates(self):
+        xml = "<r><a><b><c/></b><t/></a><a><b/><t/></a></r>"
+        assert run("//a[b[c]]/t", xml) == [5]
+
+    def test_predicate_path_with_descendant(self):
+        xml = "<r><a><x><e/></x><t/></a><a><t/></a></r>"
+        assert run("//a[.//e]/t", xml) == [5]
+
+    def test_multiple_predicates(self):
+        xml = "<r><a><d/><e/><t/></a><a><d/><t/></a></r>"
+        assert run("//a[d][e]/t", xml) == [5]
+
+    def test_wildcard_trunk_with_predicate(self):
+        xml = "<r><q><d/><t/></q><w><t/></w></r>"
+        assert run("//*[d]/t", xml) == [4]
+
+    def test_predicate_on_return_node(self):
+        xml = "<r><b><e/></b><b/></r>"
+        assert run("//b[e]", xml) == [2]
+
+    def test_attribute_predicates(self):
+        xml = "<r><a id='7'><t/></a><a id='8'><t/></a><a><t/></a></r>"
+        assert run("//a[@id]/t", xml) == [3, 5]
+        assert run("//a[@id = '7']/t", xml) == [3]
+
+    def test_value_tests(self):
+        xml = "<r><b><p>25</p><t/></b><b><p>40</p><t/></b></r>"
+        assert run("//b[p < 30]/t", xml) == [4]
+
+    def test_value_test_uses_string_value(self):
+        xml = "<r><b><p>2<i>5</i></p><t/></b></r>"
+        assert run("//b[p = 25]/t", xml) == [5]
+
+    def test_self_value_test_on_return(self):
+        xml = "<r><b>x</b><b>y</b></r>"
+        assert run("//b[. = 'y']", xml) == [3]
+
+
+class TestRecursionAndDuplicates:
+    def test_solution_through_multiple_matches_reported_once(self):
+        """//a//c on a/a/c: two matches, one output."""
+        xml = "<a><a><c/></a></a>"
+        assert run("//a//c", xml) == [3]
+
+    def test_nested_roots_each_emit(self):
+        xml = "<a><c/><a><c/></a></a>"
+        assert sorted(run("//a//c", xml)) == [2, 4]
+
+    def test_deep_recursion_with_predicates(self):
+        xml = "<a><d/><a><a><d/><c/></a></a></a>"
+        assert run("//a[d]//c", xml) == [6]
+
+    def test_predicate_satisfied_only_at_outer_level(self):
+        xml = "<a><d/><a><c/></a></a>"
+        assert run("//a[d]/a/c", xml) == [4]
+        assert run("//a[d]/c", xml) == []
+
+    def test_same_tag_trunk_steps(self):
+        xml = "<a><a><b/></a></a>"
+        assert run("//a//a/b", xml) == [3]
+
+    def test_candidate_uploaded_through_all_qualifying_ancestors(self):
+        # Both outer and inner 'a' can anchor; dedup keeps one emission.
+        xml = "<a><d/><a><d/><b><e/><c/></b></a></a>"
+        assert run("//a[d]//b[e]//c", xml) == [7]
+
+
+class TestOutputTiming:
+    def test_output_at_root_close(self):
+        """With predicates, output waits for the root match to close."""
+        emitted = []
+        machine = TwigM("//a[d]//c", sink=CallbackSink(emitted.append))
+        events = list(parse_string("<a><c/><d/></a>"))
+        machine.feed(events[:-1])
+        assert emitted == []  # root still open
+        machine.feed(events[-1:])
+        assert emitted == [2]
+
+    def test_inner_root_emits_before_document_end(self):
+        emitted = []
+        machine = TwigM("//a[d]//c", sink=CallbackSink(emitted.append))
+        xml = "<r><a><d/><c/></a><x><y/></x></r>"
+        events = list(parse_string(xml))
+        machine.feed(events[:7])  # through </a>
+        assert emitted == [4]
+
+
+class TestEdgeCases:
+    def test_no_match_tag_absent(self):
+        assert run("//zzz[d]//c", "<a><d/><c/></a>") == []
+
+    def test_root_query_with_predicate(self):
+        assert run("/a[b]", "<a><b/></a>") == [1]
+        assert run("/a[b]", "<a><c/></a>") == []
+
+    def test_document_element_level_requirement(self):
+        assert run("/b[c]", "<a><b><c/></b></a>") == []
+
+    def test_empty_document_single_element(self):
+        assert run("//a", "<a/>") == [1]
+
+    def test_results_property_requires_default_sink(self):
+        machine = TwigM("//a", sink=CallbackSink(lambda i: None))
+        with pytest.raises(AttributeError):
+            machine.results
+
+    def test_reset(self):
+        machine = TwigM("//a[b]")
+        machine.feed(parse_string("<a><b/></a>"))
+        machine.reset()
+        assert machine.total_stack_entries() == 0
+
+    def test_stacks_empty_after_complete_document(self):
+        machine = TwigM("//a[d]//b[e]//c")
+        machine.feed(parse_string(chain_xml(5)))
+        assert machine.total_stack_entries() == 0
+
+    def test_accepts_prebuilt_machine(self):
+        from repro.core.machine import build_machine
+        from repro.xpath.querytree import compile_query
+
+        machine = build_machine(compile_query("//a"))
+        assert TwigM(machine).run(parse_string("<a/>")) == [1]

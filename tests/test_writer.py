@@ -1,0 +1,81 @@
+"""Tests for XML serialization (repro.stream.writer)."""
+
+import pytest
+
+from repro.stream.document import build_document
+from repro.stream.tokenizer import parse_string
+from repro.stream.writer import (
+    document_to_string,
+    element_to_string,
+    escape_attribute,
+    escape_text,
+    events_to_string,
+    write_file,
+)
+
+
+class TestEscaping:
+    def test_text_escapes(self):
+        assert escape_text("a & b < c > d") == "a &amp; b &lt; c &gt; d"
+
+    def test_text_no_escapes_fast_path(self):
+        assert escape_text("plain") == "plain"
+
+    def test_attribute_escapes_quotes(self):
+        assert escape_attribute('say "hi" & go') == "say &quot;hi&quot; &amp; go"
+
+
+class TestSerialization:
+    def test_empty_element_self_closes(self):
+        assert events_to_string(parse_string("<a></a>")) == "<a/>"
+
+    def test_attributes_serialized(self):
+        xml = events_to_string(parse_string("<a x='1' y='2'/>"))
+        assert xml == '<a x="1" y="2"/>'
+
+    def test_text_preserved(self):
+        xml = events_to_string(parse_string("<a>x &amp; y</a>"))
+        assert xml == "<a>x &amp; y</a>"
+
+    def test_nested_structure(self):
+        xml = events_to_string(parse_string("<a><b>t</b><c/></a>"))
+        assert xml == "<a><b>t</b><c/></a>"
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "<a/>",
+            "<a><b/><c><d/></c></a>",
+            '<a k="v&amp;w">one<b>two</b>three</a>',
+            "<r><x>a&lt;b</x></r>",
+        ],
+    )
+    def test_round_trip(self, source):
+        once = events_to_string(parse_string(source, skip_whitespace=False))
+        twice = events_to_string(parse_string(once, skip_whitespace=False))
+        assert once == twice
+        # And the event streams agree.
+        assert list(parse_string(once, skip_whitespace=False)) == list(
+            parse_string(source, skip_whitespace=False)
+        )
+
+    def test_indent_mode(self):
+        xml = events_to_string(parse_string("<a><b><c/></b></a>"), indent="  ")
+        assert "\n  <b>" in xml
+        assert "\n    <c/>" in xml
+
+    def test_write_file(self, tmp_path):
+        path = tmp_path / "out.xml"
+        write_file(parse_string("<a><b/></a>"), path)
+        assert path.read_text() == "<a><b/></a>"
+
+
+class TestTreeSerialization:
+    def test_document_to_string(self):
+        document = build_document(parse_string("<a><b>t</b></a>"))
+        assert document_to_string(document) == "<a><b>t</b></a>"
+
+    def test_element_to_string_is_a_fragment(self):
+        document = build_document(parse_string("<a><b x='1'>t<c/></b></a>"))
+        fragment = element_to_string(document.root.children[0])
+        assert fragment == '<b x="1">t<c/></b>'
