@@ -3,13 +3,18 @@
 PYTHON ?= python3
 PROFILE ?= small
 
-.PHONY: install test bench figures examples clean
+.PHONY: install test robustness bench figures examples clean
 
 install:
 	$(PYTHON) -m pip install -e .
 
 test:
 	$(PYTHON) -m pytest tests/
+
+robustness:
+	$(PYTHON) -m pytest tests/test_recovery.py tests/test_fault_injection.py \
+		tests/test_checkpoint.py tests/test_resource_limits.py \
+		tests/test_source_parity.py tests/test_robustness.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,73 @@
+"""CI smoke: the full pipeline under repair + tight resource limits.
+
+Runs 500 seeded corruption campaigns through XPathStream with a
+deliberately tight ResourceLimits profile.  Three outcomes are
+acceptable per seed: a clean result, a clean result after recovery
+(with diagnostics), or a ResourceLimitError.  Anything else — any other
+exception, a hang, unbounded growth — fails the build.
+
+Usage: PYTHONPATH=src python ci/fault_smoke.py [seeds]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import ResourceLimits, XPathStream
+from repro.errors import ResourceLimitError
+from repro.stream.faults import FaultyChunks
+
+DOCUMENT = (
+    "<catalog>"
+    + "".join(
+        f"<book id='b{i}'><title>t{i} ☃</title><price>{i}</price></book>"
+        for i in range(12)
+    )
+    + "<note><![CDATA[raw <markup>]]></note></catalog>"
+)
+
+TIGHT = ResourceLimits(
+    max_depth=16,
+    max_attributes=8,
+    max_attribute_length=256,
+    max_text_length=4096,
+    max_buffered_input=8192,
+    max_buffered_candidates=256,
+    max_total_events=10_000,
+)
+
+
+def main(seeds: int) -> int:
+    limited = 0
+    recovered = 0
+    for seed in range(seeds):
+        wrapped = FaultyChunks(DOCUMENT, seed=seed, faults=1 + seed % 5)
+        diagnostics = []
+        stream = XPathStream(
+            "//book[price]//title",
+            policy="repair",
+            on_diagnostic=diagnostics.append,
+            limits=TIGHT,
+        )
+        try:
+            for chunk in wrapped:
+                stream.feed_text(chunk)
+            ids = stream.close()
+        except ResourceLimitError:
+            limited += 1
+            continue
+        except Exception as exc:  # noqa: BLE001 - the point of the smoke
+            print(f"FAIL seed={seed} {wrapped!r}: {type(exc).__name__}: {exc}")
+            return 1
+        if diagnostics:
+            recovered += 1
+        assert all(isinstance(i, int) for i in ids), seed
+    print(
+        f"ok: {seeds} corruption campaigns "
+        f"({recovered} recovered, {limited} resource-limited, 0 crashes)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(int(sys.argv[1]) if len(sys.argv) > 1 else 500))

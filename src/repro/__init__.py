@@ -29,19 +29,27 @@ Packages:
 from repro.core.processor import XPathStream, evaluate
 from repro.core.twigm import TwigM
 from repro.errors import (
+    CheckpointError,
     ReproError,
+    ResourceLimitError,
     StreamStateError,
     UnsupportedQueryError,
     XmlSyntaxError,
     XPathSyntaxError,
 )
+from repro.stream.recovery import RecoveryPolicy, ResourceLimits, StreamDiagnostic
 from repro.xpath.querytree import QueryTree, compile_query
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "CheckpointError",
     "QueryTree",
+    "RecoveryPolicy",
     "ReproError",
+    "ResourceLimitError",
+    "ResourceLimits",
+    "StreamDiagnostic",
     "StreamStateError",
     "TwigM",
     "UnsupportedQueryError",

@@ -28,8 +28,9 @@ from typing import Iterable
 
 from repro.core.machine import Machine, MachineNode, build_machine
 from repro.core.results import CollectingSink, ResultSink
-from repro.errors import UnsupportedQueryError
+from repro.errors import CheckpointError, UnsupportedQueryError
 from repro.stream.events import Characters, EndElement, Event, StartElement
+from repro.stream.recovery import ResourceLimits
 from repro.xpath.querytree import QueryTree, compile_query
 
 
@@ -58,7 +59,12 @@ class BranchM:
     '//' or '*' (use :class:`~repro.core.twigm.TwigM` instead).
     """
 
-    def __init__(self, query: "str | QueryTree | Machine", sink: ResultSink | None = None):
+    def __init__(
+        self,
+        query: "str | QueryTree | Machine",
+        sink: ResultSink | None = None,
+        limits: ResourceLimits | None = None,
+    ):
         if isinstance(query, Machine):
             self.machine = query
             query_tree = query.query
@@ -78,6 +84,9 @@ class BranchM:
                 f"{query_tree.source!r} uses or/not (use TwigM)"
             )
         self.sink = sink if sink is not None else CollectingSink()
+        self._limits = limits
+        self._candidate_count = 0
+        self._event_count = 0
         self._slots: dict[int, _Slot] = {
             id(node): _Slot() for node in self.machine.iter_nodes()
         }
@@ -98,12 +107,59 @@ class BranchM:
         """Clear runtime state for a fresh run."""
         for slot in self._slots.values():
             slot.reset()
+        self._candidate_count = 0
+        self._event_count = 0
+
+    # -- checkpointing -----------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """JSON-serializable capture of the per-node slots."""
+        slots = []
+        for node in self.machine.iter_nodes():
+            slot = self._slots[id(node)]
+            slots.append(
+                [
+                    slot.level,
+                    slot.flags,
+                    sorted(slot.candidates) if slot.candidates else None,
+                    list(slot.text_parts) if slot.text_parts is not None else None,
+                ]
+            )
+        return {
+            "slots": slots,
+            "candidate_count": self._candidate_count,
+            "event_count": self._event_count,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Load a :meth:`snapshot_state` capture into this machine."""
+        nodes = list(self.machine.iter_nodes())
+        slots = state["slots"]
+        if len(slots) != len(nodes):
+            raise CheckpointError(
+                f"snapshot has {len(slots)} machine slots, machine has {len(nodes)}"
+            )
+        for node, (level, flags, candidates, text_parts) in zip(nodes, slots):
+            slot = self._slots[id(node)]
+            slot.level = level
+            slot.flags = flags
+            slot.candidates = set(candidates) if candidates else None
+            slot.text_parts = list(text_parts) if text_parts is not None else None
+        self._candidate_count = state.get("candidate_count", 0)
+        self._event_count = state.get("event_count", 0)
 
     # -- transitions -------------------------------------------------------
+
+    def _count_candidates(self, added: int) -> None:
+        self._candidate_count += added
+        if added > 0 and self._limits is not None:
+            self._limits.check("max_buffered_candidates", self._candidate_count)
 
     def start_element(self, tag: str, level: int, node_id: int, attributes=None) -> None:
         if attributes is None:
             attributes = {}
+        if self._limits is not None:
+            self._limits.check("max_depth", level)
         for node in self.machine.nodes_for_tag(tag):
             if node.parent is None:
                 if level != node.edge_dist:
@@ -115,12 +171,15 @@ class BranchM:
             if node.attribute_tests and not node.attributes_satisfied(attributes):
                 continue
             slot = self._slots[id(node)]
+            if slot.candidates:
+                self._candidate_count -= len(slot.candidates)
             slot.level = level
             slot.flags = 0
             slot.candidates = None
             slot.text_parts = [] if node.value_tests else None
             if node.is_return:
                 slot.candidates = {node_id}
+                self._count_candidates(1)
 
     def characters(self, text: str) -> None:
         """Accumulate string-value data for value-tested nodes."""
@@ -149,15 +208,24 @@ class BranchM:
                     if slot.candidates:
                         if parent_slot.candidates is None:
                             parent_slot.candidates = set(slot.candidates)
+                            self._count_candidates(len(parent_slot.candidates))
                         else:
+                            before = len(parent_slot.candidates)
                             parent_slot.candidates |= slot.candidates
+                            self._count_candidates(len(parent_slot.candidates) - before)
+            if slot.candidates:
+                self._candidate_count -= len(slot.candidates)
             slot.reset()
 
     # -- event-stream driving ------------------------------------------------
 
     def feed(self, events: Iterable[Event]) -> None:
         """Process a batch of modified-SAX events."""
+        limits = self._limits
         for event in events:
+            if limits is not None:
+                self._event_count += 1
+                limits.check("max_total_events", self._event_count)
             if isinstance(event, StartElement):
                 self.start_element(event.tag, event.level, event.node_id, event.attributes)
             elif isinstance(event, EndElement):

@@ -23,8 +23,9 @@ from typing import Iterable
 
 from repro.core.machine import EDGE_EQ, Machine, MachineNode, build_machine
 from repro.core.results import CollectingSink, ResultSink
-from repro.errors import UnsupportedQueryError
+from repro.errors import CheckpointError, UnsupportedQueryError
 from repro.stream.events import EndElement, Event, StartElement
+from repro.stream.recovery import ResourceLimits
 from repro.xpath.querytree import QueryTree, compile_query
 
 
@@ -33,9 +34,17 @@ class PathM:
 
     Raises :class:`~repro.errors.UnsupportedQueryError` when the query has
     predicates (use :class:`~repro.core.twigm.TwigM` instead).
+
+    An optional :class:`~repro.stream.recovery.ResourceLimits` bounds the
+    document depth and total event count the machine will accept.
     """
 
-    def __init__(self, query: "str | QueryTree | Machine", sink: ResultSink | None = None):
+    def __init__(
+        self,
+        query: "str | QueryTree | Machine",
+        sink: ResultSink | None = None,
+        limits: ResourceLimits | None = None,
+    ):
         if isinstance(query, Machine):
             self.machine = query
         else:
@@ -47,6 +56,8 @@ class PathM:
                 )
             self.machine = build_machine(query)
         self.sink = sink if sink is not None else CollectingSink()
+        self._limits = limits
+        self._event_count = 0
         # The machine of a path query is a single chain; per-node state is
         # a stack of levels.
         self._stacks: dict[int, list[int]] = {
@@ -69,11 +80,39 @@ class PathM:
         """Clear runtime state for a fresh run."""
         for stack in self._stacks.values():
             stack.clear()
+        self._event_count = 0
+
+    # -- checkpointing ----------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """JSON-serializable capture of the per-node level stacks."""
+        return {
+            "stacks": [
+                list(self._stacks[id(node)]) for node in self.machine.iter_nodes()
+            ],
+            "event_count": self._event_count,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Load a :meth:`snapshot_state` capture into this machine."""
+        nodes = list(self.machine.iter_nodes())
+        stacks = state["stacks"]
+        if len(stacks) != len(nodes):
+            raise CheckpointError(
+                f"snapshot has {len(stacks)} machine stacks, machine has {len(nodes)}"
+            )
+        for node, levels in zip(nodes, stacks):
+            stack = self._stacks[id(node)]
+            stack.clear()
+            stack.extend(levels)
+        self._event_count = state.get("event_count", 0)
 
     # -- transitions ------------------------------------------------------
 
     def start_element(self, tag: str, level: int, node_id: int, attributes=None) -> None:
         """Push qualifying nodes; output immediately on the return node."""
+        if self._limits is not None:
+            self._limits.check("max_depth", level)
         for node in self.machine.nodes_for_tag(tag):
             if node.parent is None:
                 if not node.edge_satisfied(level):
@@ -113,7 +152,11 @@ class PathM:
 
     def feed(self, events: Iterable[Event]) -> None:
         """Process a batch of modified-SAX events."""
+        limits = self._limits
         for event in events:
+            if limits is not None:
+                self._event_count += 1
+                limits.check("max_total_events", self._event_count)
             if isinstance(event, StartElement):
                 self.start_element(event.tag, event.level, event.node_id, event.attributes)
             elif isinstance(event, EndElement):

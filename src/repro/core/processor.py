@@ -12,6 +12,15 @@ The evaluator is fed from any event source accepted by
 an open file, chunk iterables, or pre-built event streams — so the same
 object serves one-shot evaluation and long-running pipelines.
 
+For always-on deployments the stream carries the resilience options of
+:mod:`repro.stream.recovery` (a recovery ``policy``, an
+``on_diagnostic`` callback, and ``limits``) and supports
+**checkpoint/resume**: :meth:`XPathStream.snapshot` captures the machine
+stacks, result buffers, and mid-parse tokenizer state as a versioned,
+JSON-serializable dict, and :meth:`XPathStream.restore` resumes
+bit-exactly — a stream suspended at any event boundary produces the same
+matches in the same order as an uninterrupted run.
+
 Example::
 
     from repro import XPathStream
@@ -24,6 +33,7 @@ Example::
                          on_match=print)
     for chunk in network_chunks:
         stream.feed_text(chunk)
+        persist(stream.snapshot())   # crash-safe: resume from the capture
 """
 
 from __future__ import annotations
@@ -34,7 +44,9 @@ from repro.core.branchm import BranchM
 from repro.core.pathm import PathM
 from repro.core.results import CallbackSink, CollectingSink, ResultSink
 from repro.core.twigm import TwigM
+from repro.errors import CheckpointError
 from repro.stream.events import Event
+from repro.stream.recovery import RecoveryPolicy, ResourceLimits, StreamDiagnostic
 from repro.stream.tokenizer import XmlTokenizer, events_from
 from repro.xpath.querytree import QueryTree, compile_query
 
@@ -44,6 +56,11 @@ _FRAGMENT_ENGINES = {
     "XP{/,[]}": BranchM,
     "XP{/,//,*,[]}": TwigM,
 }
+
+_ENGINES_BY_NAME = {"pathm": PathM, "branchm": BranchM, "twigm": TwigM}
+
+#: Version of the snapshot schema :meth:`XPathStream.snapshot` writes.
+SNAPSHOT_VERSION = 1
 
 
 def select_engine_class(query: QueryTree):
@@ -71,6 +88,17 @@ class XPathStream:
     engine:
         Force a specific machine: ``"pathm"``, ``"branchm"``, ``"twigm"``,
         or ``None`` (automatic; the default).
+    policy:
+        Malformed-input handling for text feeds: ``"strict"`` (default),
+        ``"skip"``, or ``"repair"`` — see
+        :class:`~repro.stream.recovery.RecoveryPolicy`.
+    on_diagnostic:
+        Callback receiving each
+        :class:`~repro.stream.recovery.StreamDiagnostic` a lenient policy
+        produces.
+    limits:
+        Optional :class:`~repro.stream.recovery.ResourceLimits`, enforced
+        by both the tokenizer and the machine.
     """
 
     def __init__(
@@ -78,10 +106,17 @@ class XPathStream:
         query: "str | QueryTree",
         on_match: Callable[[int], None] | None = None,
         engine: str | None = None,
+        *,
+        policy: "str | RecoveryPolicy" = RecoveryPolicy.STRICT,
+        on_diagnostic: Callable[[StreamDiagnostic], None] | None = None,
+        limits: ResourceLimits | None = None,
     ):
         if isinstance(query, str):
             query = compile_query(query)
         self.query = query
+        self._policy = RecoveryPolicy.coerce(policy)
+        self._on_diagnostic = on_diagnostic
+        self._limits = limits
         if on_match is None:
             sink: ResultSink = CollectingSink()
         else:
@@ -90,10 +125,10 @@ class XPathStream:
             engine_class = select_engine_class(query)
         else:
             try:
-                engine_class = {"pathm": PathM, "branchm": BranchM, "twigm": TwigM}[engine]
+                engine_class = _ENGINES_BY_NAME[engine]
             except KeyError:
                 raise ValueError(f"unknown engine {engine!r}") from None
-        self.engine = engine_class(query, sink=sink)
+        self.engine = engine_class(query, sink=sink, limits=limits)
         self._sink = sink
         self._tokenizer: XmlTokenizer | None = None
 
@@ -109,6 +144,13 @@ class XPathStream:
             return self._sink.results
         raise AttributeError("results are not collected when on_match is set")
 
+    @property
+    def diagnostics(self) -> list[StreamDiagnostic]:
+        """Recovery diagnostics from the incremental text feed (if any)."""
+        if self._tokenizer is None:
+            return []
+        return self._tokenizer.diagnostics
+
     # -- one-shot -----------------------------------------------------------
 
     def evaluate(self, source) -> list[int]:
@@ -117,7 +159,14 @@ class XPathStream:
         ``source`` may be XML text, a path, a file object, chunk
         iterables, or an event stream.
         """
-        self.engine.feed(events_from(source))
+        self.engine.feed(
+            events_from(
+                source,
+                policy=self._policy,
+                on_diagnostic=self._on_diagnostic,
+                limits=self._limits,
+            )
+        )
         if isinstance(self._sink, CollectingSink):
             return self._sink.results
         return []
@@ -131,13 +180,24 @@ class XPathStream:
     def feed_text(self, chunk: str) -> None:
         """Push a chunk of raw XML text (incremental parsing)."""
         if self._tokenizer is None:
-            self._tokenizer = XmlTokenizer()
+            self._tokenizer = XmlTokenizer(
+                policy=self._policy,
+                on_diagnostic=self._on_diagnostic,
+                limits=self._limits,
+            )
         self.engine.feed(self._tokenizer.feed(chunk))
 
     def close(self) -> list[int]:
-        """Finish an incremental text feed; return collected ids (if any)."""
+        """Finish an incremental text feed; return collected ids (if any).
+
+        Under a lenient policy the tokenizer may synthesize end events for
+        a truncated document here; they are fed through the engine so a
+        match pending only on missing end tags is still confirmed.
+        """
         if self._tokenizer is not None:
-            self._tokenizer.close()
+            final_events = self._tokenizer.close()
+            if final_events:
+                self.engine.feed(final_events)
             self._tokenizer = None
         if isinstance(self._sink, CollectingSink):
             return self._sink.results
@@ -150,6 +210,67 @@ class XPathStream:
         if isinstance(self._sink, CollectingSink):
             self._sink.results.clear()
             self._sink._seen.clear()
+
+    # -- checkpoint / resume ------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Capture the full evaluation state as a versioned, serializable dict.
+
+        The capture spans the machine stacks, the candidate/result
+        buffers, the emitted-id set, and — mid-document — the incremental
+        tokenizer (pending buffer, open-element stack, cursor, pre-order
+        counter), so ``restore`` resumes bit-exactly.  Everything in it is
+        JSON-serializable; persist it however suits the deployment.
+        """
+        return {
+            "version": SNAPSHOT_VERSION,
+            "query": self.query.source,
+            "engine": self.engine_name,
+            "policy": self._policy.value,
+            "limits": self._limits.to_dict() if self._limits is not None else None,
+            "tokenizer": self._tokenizer.snapshot() if self._tokenizer is not None else None,
+            "machine": self.engine.snapshot_state(),
+            "sink": self._sink.snapshot_state(),
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        snapshot: dict,
+        on_match: Callable[[int], None] | None = None,
+        on_diagnostic: Callable[[StreamDiagnostic], None] | None = None,
+    ) -> "XPathStream":
+        """Rebuild a stream from a :meth:`snapshot` capture.
+
+        Callbacks are not serializable, so ``on_match``/``on_diagnostic``
+        are supplied anew; ids emitted before the checkpoint are
+        remembered and will not fire ``on_match`` again.
+        """
+        version = snapshot.get("version")
+        if version != SNAPSHOT_VERSION:
+            raise CheckpointError(
+                f"unsupported snapshot version {version!r} (expected {SNAPSHOT_VERSION})"
+            )
+        try:
+            stream = cls(
+                snapshot["query"],
+                on_match=on_match,
+                engine=snapshot["engine"],
+                policy=snapshot["policy"],
+                on_diagnostic=on_diagnostic,
+                limits=ResourceLimits.from_dict(snapshot.get("limits")),
+            )
+            stream.engine.restore_state(snapshot["machine"])
+            stream._sink.restore_state(snapshot["sink"])
+            if snapshot.get("tokenizer") is not None:
+                stream._tokenizer = XmlTokenizer.restore(
+                    snapshot["tokenizer"],
+                    on_diagnostic=on_diagnostic,
+                    limits=stream._limits,
+                )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed snapshot: {exc}") from exc
+        return stream
 
 
 def evaluate(query: "str | QueryTree", source) -> list[int]:

@@ -34,6 +34,15 @@ class ResultSink:
         for node_id in node_ids:
             self.emit(node_id)
 
+    # -- checkpointing (see XPathStream.snapshot) ----------------------
+
+    def snapshot_state(self) -> dict:
+        """JSON-serializable capture of emission state (default: none)."""
+        return {}
+
+    def restore_state(self, state: dict) -> None:
+        """Load a :meth:`snapshot_state` capture (default: nothing to load)."""
+
 
 class CollectingSink(ResultSink):
     """Collect distinct ids in first-confirmation order."""
@@ -53,6 +62,15 @@ class CollectingSink(ResultSink):
     def __iter__(self):
         return iter(self.results)
 
+    def snapshot_state(self) -> dict:
+        # The seen-set is exactly the set of collected ids, so the
+        # ordered list alone reconstructs both.
+        return {"results": list(self.results)}
+
+    def restore_state(self, state: dict) -> None:
+        self.results = list(state.get("results", ()))
+        self._seen = set(self.results)
+
 
 class CallbackSink(ResultSink):
     """Forward each distinct id to ``callback`` as soon as it is confirmed."""
@@ -65,6 +83,14 @@ class CallbackSink(ResultSink):
         if node_id not in self._seen:
             self._seen.add(node_id)
             self._callback(node_id)
+
+    def snapshot_state(self) -> dict:
+        return {"seen": sorted(self._seen)}
+
+    def restore_state(self, state: dict) -> None:
+        # Restoring from a collecting snapshot works too: ids emitted
+        # before the checkpoint must not fire the callback again.
+        self._seen = set(state.get("seen", state.get("results", ())))
 
 
 class DiscardingSink(ResultSink):

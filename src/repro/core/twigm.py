@@ -34,8 +34,9 @@ from typing import Iterable
 
 from repro.core.machine import EDGE_EQ, Machine, MachineNode, build_machine
 from repro.core.results import CollectingSink, ResultSink
-from repro.errors import UnsupportedQueryError
+from repro.errors import CheckpointError, UnsupportedQueryError
 from repro.stream.events import Characters, EndElement, Event, StartElement
+from repro.stream.recovery import ResourceLimits
 from repro.xpath.querytree import QueryTree, compile_query
 
 
@@ -58,14 +59,20 @@ class StackEntry:
         else:
             self.candidates.add(node_id)
 
-    def upload_candidates(self, other: "StackEntry") -> None:
-        """Union ``other``'s candidates into this entry (duplicate-free)."""
+    def upload_candidates(self, other: "StackEntry") -> int:
+        """Union ``other``'s candidates into this entry (duplicate-free).
+
+        Returns how many ids were newly added (for buffered-candidate
+        accounting).
+        """
         if not other.candidates:
-            return
+            return 0
         if self.candidates is None:
             self.candidates = set(other.candidates)
-        else:
-            self.candidates |= other.candidates
+            return len(self.candidates)
+        before = len(self.candidates)
+        self.candidates |= other.candidates
+        return len(self.candidates) - before
 
     def string_value(self) -> str:
         return "".join(self.text_parts) if self.text_parts else ""
@@ -119,6 +126,12 @@ class TwigM:
         element's end tag whenever that is sound (no predicates above
         the return node), ``False`` forces the paper's root-close
         behaviour, ``True`` asserts soundness (raising otherwise).
+    limits:
+        Optional :class:`~repro.stream.recovery.ResourceLimits`; the
+        machine enforces ``max_depth``, ``max_buffered_candidates`` (the
+        total ids held across all stack entries) and
+        ``max_total_events``, raising
+        :class:`~repro.errors.ResourceLimitError` when crossed.
 
     Use :meth:`run` for one-shot evaluation, or drive :meth:`start_element`
     / :meth:`characters` / :meth:`end_element` directly for push-style
@@ -131,6 +144,7 @@ class TwigM:
         sink: ResultSink | None = None,
         tracker: "CandidateTracker | None" = None,
         eager: "bool | None" = None,
+        limits: ResourceLimits | None = None,
     ):
         if isinstance(query, Machine):
             self.machine = query
@@ -140,6 +154,9 @@ class TwigM:
             self.machine = build_machine(query)
         self.sink = sink if sink is not None else CollectingSink()
         self._tracker = tracker
+        self._limits = limits
+        self._candidate_count = 0  # ids buffered across all stack entries
+        self._event_count = 0
         self._stacks: dict[int, list[StackEntry]] = {}
         for node in self.machine.iter_nodes():
             self._stacks[id(node)] = []
@@ -177,10 +194,66 @@ class TwigM:
         """Live entries across all stacks — the compact encoding's size."""
         return sum(len(stack) for stack in self._stacks.values())
 
+    def buffered_candidates(self) -> int:
+        """Candidate ids currently held across all stacks (with copies)."""
+        return self._candidate_count
+
     def reset(self) -> None:
         """Clear all runtime state; the machine itself is reusable."""
         for stack in self._stacks.values():
             stack.clear()
+        self._candidate_count = 0
+        self._event_count = 0
+
+    # -- checkpointing ---------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """JSON-serializable capture of all runtime stacks.
+
+        Machine nodes are identified by their position in the
+        deterministic pre-order traversal of :meth:`Machine.iter_nodes`,
+        so a machine rebuilt from the same query accepts the capture.
+        """
+        stacks = []
+        for node in self.machine.iter_nodes():
+            stacks.append(
+                [
+                    [
+                        entry.level,
+                        entry.flags,
+                        sorted(entry.candidates) if entry.candidates else None,
+                        list(entry.text_parts) if entry.text_parts is not None else None,
+                        entry.attr_bits,
+                    ]
+                    for entry in self._stacks[id(node)]
+                ]
+            )
+        return {
+            "stacks": stacks,
+            "candidate_count": self._candidate_count,
+            "event_count": self._event_count,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Load a :meth:`snapshot_state` capture into this machine."""
+        nodes = list(self.machine.iter_nodes())
+        stacks = state["stacks"]
+        if len(stacks) != len(nodes):
+            raise CheckpointError(
+                f"snapshot has {len(stacks)} machine stacks, machine has {len(nodes)}"
+            )
+        for node, entries in zip(nodes, stacks):
+            stack = self._stacks[id(node)]
+            stack.clear()  # in place: _value_stacks aliases these lists
+            for level, flags, candidates, text_parts, attr_bits in entries:
+                entry = StackEntry(level)
+                entry.flags = flags
+                entry.candidates = set(candidates) if candidates else None
+                entry.text_parts = list(text_parts) if text_parts is not None else None
+                entry.attr_bits = attr_bits
+                stack.append(entry)
+        self._candidate_count = state.get("candidate_count", 0)
+        self._event_count = state.get("event_count", 0)
 
     # -- transition functions --------------------------------------------
 
@@ -188,6 +261,8 @@ class TwigM:
         """δs of Algorithm 1."""
         if attributes is None:
             attributes = {}
+        if self._limits is not None:
+            self._limits.check("max_depth", level)
         for node in self.machine.nodes_for_tag(tag):
             condition = node.compiled_condition
             if condition is None:
@@ -212,9 +287,16 @@ class TwigM:
                 entry.attr_bits = condition.attr_bits(attributes)
             if node.is_return:
                 entry.add_candidate(node_id)
+                self._count_candidates(1)
                 if self._tracker is not None:
                     self._tracker.created(node_id)
             self._stacks[id(node)].append(entry)
+
+    def _count_candidates(self, added: int) -> None:
+        """Track buffered candidate ids; enforce the configured bound."""
+        self._candidate_count += added
+        if added > 0 and self._limits is not None:
+            self._limits.check("max_buffered_candidates", self._candidate_count)
 
     def _parent_edge_exists(self, node: MachineNode, level: int) -> bool:
         """∃ e ∈ ξ(ρ(v)) with ζ(v)[1](l − e.level, ζ(v)[2]) — Algorithm 1, δs."""
@@ -251,6 +333,10 @@ class TwigM:
             if not stack or stack[-1].level != level:
                 continue
             entry = stack.pop()
+            if entry.candidates:
+                # The popped entry's buffered ids are released; uploads
+                # below re-count any copies that survive in parents.
+                self._candidate_count -= len(entry.candidates)
             condition = node.compiled_condition
             if condition is None:
                 satisfied = entry.flags == node.complete_mask
@@ -318,14 +404,14 @@ class TwigM:
     def _upload(self, parent_entry: StackEntry, entry: StackEntry) -> None:
         """Candidate upload, reporting newly-retained ids to the tracker."""
         if self._tracker is None or not entry.candidates:
-            parent_entry.upload_candidates(entry)
+            self._count_candidates(parent_entry.upload_candidates(entry))
             return
         existing = parent_entry.candidates
         if existing is None:
             added = set(entry.candidates)
         else:
             added = entry.candidates - existing
-        parent_entry.upload_candidates(entry)
+        self._count_candidates(parent_entry.upload_candidates(entry))
         for node_id in added:
             self._tracker.retained(node_id)
 
@@ -333,7 +419,11 @@ class TwigM:
 
     def feed(self, events: Iterable[Event]) -> None:
         """Process a batch of modified-SAX events."""
+        limits = self._limits
         for event in events:
+            if limits is not None:
+                self._event_count += 1
+                limits.check("max_total_events", self._event_count)
             if isinstance(event, StartElement):
                 self.start_element(event.tag, event.level, event.node_id, event.attributes)
             elif isinstance(event, EndElement):

@@ -10,6 +10,11 @@ callers can catch one type at an API boundary.  Subsystems refine it:
 * :class:`StreamStateError` — an event sequence that violates the
   well-nesting discipline (end without matching start, events after the
   document closed, ...).
+* :class:`ResourceLimitError` — input exceeded a configured
+  :class:`~repro.stream.recovery.ResourceLimits` bound (depth, attribute
+  count, buffered candidates, ...).
+* :class:`CheckpointError` — a snapshot that cannot be restored (wrong
+  version, wrong query, corrupted shape).
 """
 
 from __future__ import annotations
@@ -31,6 +36,9 @@ class XmlSyntaxError(ReproError):
         if line is not None:
             location = f" at line {line}" + (f", column {column}" if column is not None else "")
         super().__init__(message + location)
+        #: The message without the appended location (diagnostics carry the
+        #: position in dedicated fields).
+        self.raw_message = message
         self.line = line
         self.column = column
 
@@ -54,3 +62,32 @@ class UnsupportedQueryError(ReproError):
 
 class StreamStateError(ReproError):
     """An event sequence violating well-nesting or lifecycle rules."""
+
+
+class ResourceLimitError(ReproError):
+    """Input exceeded a configured resource bound.
+
+    Unlike :class:`XmlSyntaxError`, this is *never* downgraded by a
+    recovery policy: limits are a protection boundary, and a document
+    that trips one is rejected regardless of how forgiving the parse is.
+
+    Carries the ``limit`` field name, the ``configured`` bound, and the
+    ``observed`` value that crossed it.
+    """
+
+    def __init__(self, limit: str, configured: int, observed: int):
+        super().__init__(
+            f"resource limit {limit}={configured} exceeded (observed {observed})"
+        )
+        self.limit = limit
+        self.configured = configured
+        self.observed = observed
+
+
+class CheckpointError(ReproError):
+    """A stream snapshot that cannot be restored.
+
+    Raised for unknown snapshot versions, a machine shape that does not
+    match the snapshot (the query changed), or structurally invalid
+    snapshot data.
+    """

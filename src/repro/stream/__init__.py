@@ -8,6 +8,8 @@ This package implements everything below the query engines:
   parser the paper's implementation used).
 * :mod:`repro.stream.document` — in-memory DOM for non-streaming engines.
 * :mod:`repro.stream.writer` — serialization back to XML text.
+* :mod:`repro.stream.recovery` — recovery policies, diagnostics, limits.
+* :mod:`repro.stream.faults` — deterministic fault injection for tests.
 """
 
 from repro.stream.document import Document, Element, build_document
@@ -20,6 +22,21 @@ from repro.stream.events import (
     count_elements,
     document_depth,
     validate_events,
+    well_nested,
+)
+from repro.stream.faults import (
+    FaultyChunks,
+    FaultyEvents,
+    InjectedFault,
+    byte_split_chunks,
+    corrupt_text,
+)
+from repro.stream.recovery import (
+    ACTION_REPAIRED,
+    ACTION_SKIPPED,
+    RecoveryPolicy,
+    ResourceLimits,
+    StreamDiagnostic,
 )
 from repro.stream.namespaces import (
     XML_NAMESPACE,
@@ -50,12 +67,23 @@ from repro.stream.writer import (
 )
 
 __all__ = [
+    "ACTION_REPAIRED",
+    "ACTION_SKIPPED",
     "XML_NAMESPACE",
     "clark",
     "resolve_namespaces",
     "split_clark",
     "translate_name",
     "Characters",
+    "FaultyChunks",
+    "FaultyEvents",
+    "InjectedFault",
+    "RecoveryPolicy",
+    "ResourceLimits",
+    "StreamDiagnostic",
+    "byte_split_chunks",
+    "corrupt_text",
+    "well_nested",
     "Document",
     "Element",
     "EndElement",

@@ -80,12 +80,18 @@ Event = Union[StartElement, Characters, EndElement]
 EventStream = Iterable[Event]
 
 
-def validate_events(events: EventStream) -> Iterator[Event]:
+def validate_events(events: EventStream, allow_empty: bool = False) -> Iterator[Event]:
     """Yield ``events`` unchanged while checking well-nesting invariants.
 
     Raises :class:`~repro.errors.StreamStateError` on the first violation:
     mismatched tags, wrong levels, characters outside the document, more
     than one document element, or an unterminated document.
+
+    ``allow_empty`` tolerates a stream with no element at all — the
+    legitimate output of a lenient recovery policy over input whose
+    document element was destroyed (see
+    :mod:`repro.stream.recovery`); everything that *is* emitted is still
+    checked.
 
     This is a debugging/testing aid; the engines themselves assume valid
     streams and do not pay for these checks.
@@ -133,8 +139,23 @@ def validate_events(events: EventStream) -> Iterator[Event]:
         yield event
     if stack:
         raise StreamStateError(f"document ended with {len(stack)} unclosed element(s)")
-    if not seen_root:
+    if not seen_root and not allow_empty:
         raise StreamStateError("empty stream: a document must contain one element")
+
+
+def well_nested(events: EventStream, allow_empty: bool = True) -> bool:
+    """True when ``events`` passes every :func:`validate_events` check.
+
+    The boolean form of the validator, for assertions over streams that
+    may legitimately be empty (fault-injection output under lenient
+    recovery).
+    """
+    try:
+        for _ in validate_events(events, allow_empty=allow_empty):
+            pass
+    except StreamStateError:
+        return False
+    return True
 
 
 def document_depth(events: EventStream) -> int:

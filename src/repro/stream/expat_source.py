@@ -5,6 +5,15 @@ the same role here.  It produces exactly the same event objects as
 :mod:`repro.stream.tokenizer` (including ``level`` and pre-order
 ``node_id``), so engines are agnostic about which source feeds them.
 
+Failure behaviour is also aligned with the pure-Python tokenizer: every
+parse error surfaces as an :class:`~repro.errors.XmlSyntaxError` carrying
+a 1-based line and column, ``feed()`` after ``close()`` raises the same
+error shape, ``close()`` is idempotent, and an optional
+:class:`~repro.stream.recovery.ResourceLimits` bounds depth, attribute
+count, text length and event count.  (Expat cannot resynchronise inside
+broken markup, so the lenient recovery policies live only on the
+pure-Python tokenizer.)
+
 The adapter drives ``xml.parsers.expat`` chunk-by-chunk and hands events
 out through a small pending queue, keeping the memory profile streaming.
 """
@@ -17,19 +26,29 @@ from xml.parsers import expat
 
 from repro.errors import XmlSyntaxError
 from repro.stream.events import Characters, EndElement, Event, StartElement
+from repro.stream.recovery import ResourceLimits
 from repro.stream.tokenizer import DEFAULT_CHUNK_SIZE
 
 
 class ExpatSource:
     """Incremental adapter: feed text chunks, iterate modified-SAX events."""
 
-    def __init__(self, skip_whitespace: bool = True, namespace_aware: bool = False):
+    def __init__(
+        self,
+        skip_whitespace: bool = True,
+        namespace_aware: bool = False,
+        limits: ResourceLimits | None = None,
+    ):
         self._skip_whitespace = skip_whitespace
         self._namespace_aware = namespace_aware
+        self._limits = limits
         self._pending: list[Event] = []
         self._text_parts: list[str] = []  # coalesce runs across feeds
+        self._text_len = 0
         self._depth = 0
         self._next_id = 1
+        self._event_count = 0
+        self._closed = False
         if namespace_aware:
             # Expat resolves prefixes itself; names arrive as "uri SEPARATOR
             # local", which _clark() converts to Clark notation — the same
@@ -54,6 +73,7 @@ class ExpatSource:
             return
         text = "".join(self._text_parts)
         self._text_parts.clear()
+        self._text_len = 0
         if self._skip_whitespace and not text.strip():
             return
         self._pending.append(Characters(text, self._depth))
@@ -61,6 +81,9 @@ class ExpatSource:
     def _on_start(self, tag: str, attributes: dict[str, str]) -> None:
         self._flush_text()
         self._depth += 1
+        if self._limits is not None:
+            self._limits.check("max_depth", self._depth)
+            self._limits.check("max_attributes", len(attributes))
         if self._namespace_aware:
             tag = self._clark(tag)
             attributes = {
@@ -78,46 +101,76 @@ class ExpatSource:
 
     def _on_characters(self, text: str) -> None:
         self._text_parts.append(text)
+        self._text_len += len(text)
+        if self._limits is not None:
+            self._limits.check("max_text_length", self._text_len)
+
+    def _raise(self, exc: expat.ExpatError) -> None:
+        raise XmlSyntaxError(
+            expat.errors.messages[exc.code],
+            exc.lineno,
+            exc.offset + 1,
+        ) from exc
+
+    def _take_pending(self) -> Iterator[Event]:
+        pending, self._pending = self._pending, []
+        for event in pending:
+            self._event_count += 1
+            if self._limits is not None:
+                self._limits.check("max_total_events", self._event_count)
+            yield event
 
     def feed(self, chunk: str) -> Iterator[Event]:
         """Parse ``chunk`` and yield the events it completes."""
+        if self._closed:
+            # Same shape as XmlTokenizer: feeding a finished source is a
+            # caller bug, reported with the current position.
+            raise XmlSyntaxError(
+                "feed() after close()",
+                self._parser.CurrentLineNumber,
+                self._parser.CurrentColumnNumber + 1,
+            )
         try:
             self._parser.Parse(chunk, False)
         except expat.ExpatError as exc:
-            raise XmlSyntaxError(
-                expat.errors.messages[exc.code],
-                exc.lineno,
-                exc.offset + 1,
-            ) from exc
-        pending, self._pending = self._pending, []
-        yield from pending
+            self._raise(exc)
+        return self._take_pending()
 
     def close(self) -> Iterator[Event]:
-        """Signal end of input and yield any final events."""
+        """Signal end of input and yield any final events.  Idempotent."""
+        if self._closed:
+            return iter(())
+        self._closed = True
         try:
             self._parser.Parse("", True)
         except expat.ExpatError as exc:
-            raise XmlSyntaxError(
-                expat.errors.messages[exc.code],
-                exc.lineno,
-                exc.offset + 1,
-            ) from exc
-        pending, self._pending = self._pending, []
-        yield from pending
+            self._raise(exc)
+        return self._take_pending()
 
 
 def expat_parse_string(
-    text: str, skip_whitespace: bool = True, namespace_aware: bool = False
+    text: str,
+    skip_whitespace: bool = True,
+    namespace_aware: bool = False,
+    limits: ResourceLimits | None = None,
 ) -> Iterator[Event]:
     """Tokenize a complete XML string through Expat."""
-    source = ExpatSource(skip_whitespace=skip_whitespace, namespace_aware=namespace_aware)
+    source = ExpatSource(
+        skip_whitespace=skip_whitespace,
+        namespace_aware=namespace_aware,
+        limits=limits,
+    )
     yield from source.feed(text)
     yield from source.close()
 
 
-def expat_parse_chunks(chunks: Iterable[str], skip_whitespace: bool = True) -> Iterator[Event]:
+def expat_parse_chunks(
+    chunks: Iterable[str],
+    skip_whitespace: bool = True,
+    limits: ResourceLimits | None = None,
+) -> Iterator[Event]:
     """Tokenize an iterable of text chunks through Expat."""
-    source = ExpatSource(skip_whitespace=skip_whitespace)
+    source = ExpatSource(skip_whitespace=skip_whitespace, limits=limits)
     for chunk in chunks:
         yield from source.feed(chunk)
     yield from source.close()
@@ -127,18 +180,24 @@ def expat_parse_file(
     path_or_handle: str | os.PathLike[str] | IO[str],
     skip_whitespace: bool = True,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    limits: ResourceLimits | None = None,
 ) -> Iterator[Event]:
     """Tokenize a file through Expat, reading incrementally."""
     if hasattr(path_or_handle, "read"):
         handle = path_or_handle
-        yield from _pump(handle, skip_whitespace, chunk_size)  # type: ignore[arg-type]
+        yield from _pump(handle, skip_whitespace, chunk_size, limits)  # type: ignore[arg-type]
         return
     with open(path_or_handle, "r", encoding="utf-8") as handle:
-        yield from _pump(handle, skip_whitespace, chunk_size)
+        yield from _pump(handle, skip_whitespace, chunk_size, limits)
 
 
-def _pump(handle: IO[str], skip_whitespace: bool, chunk_size: int) -> Iterator[Event]:
-    source = ExpatSource(skip_whitespace=skip_whitespace)
+def _pump(
+    handle: IO[str],
+    skip_whitespace: bool,
+    chunk_size: int,
+    limits: ResourceLimits | None = None,
+) -> Iterator[Event]:
+    source = ExpatSource(skip_whitespace=skip_whitespace, limits=limits)
     while True:
         chunk = handle.read(chunk_size)
         if not chunk:

@@ -1,0 +1,220 @@
+"""Deterministic fault injection for robustness testing.
+
+Real streams fail in unglamorous ways: a connection drops mid-tag, a
+proxy flips bytes, a retry duplicates a chunk, a load balancer reorders
+two, a network layer hands the decoder half a UTF-8 sequence.  This
+module produces those failures *on purpose*, deterministically, so the
+resilient streaming layer can be property-tested against thousands of
+reproducible corruptions.
+
+Everything is seeded: the same ``seed`` over the same input always yields
+the same faulted output, so a failing case in CI replays locally from
+just the seed number.
+
+* :func:`corrupt_text` — apply N seeded mutations (truncate, corrupt,
+  duplicate, reorder) to a document, returning the mutant and a record of
+  what was done.
+* :func:`byte_split_chunks` — re-chunk text at arbitrary *byte*
+  boundaries, splitting multi-byte UTF-8 sequences across ``feed()``
+  calls the way a real socket does (an incremental decoder reassembles
+  codepoints, so the text itself is lossless — only the boundaries are
+  hostile).
+* :class:`FaultyChunks` — the composition: a seeded wrapper over any
+  chunk iterable injecting the mutations above plus hostile feed
+  boundaries.
+* :class:`FaultyEvents` — a seeded wrapper over an *event* source that
+  drops, duplicates, or swaps events; useful for testing that consumers
+  detect protocol violations.
+"""
+
+from __future__ import annotations
+
+import codecs
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.stream.events import Event
+
+#: Mutation kinds understood by :func:`corrupt_text` / :class:`FaultyChunks`.
+TEXT_FAULT_KINDS = ("truncate", "corrupt", "duplicate", "reorder")
+
+#: Characters used for corruption: markup metacharacters and oddballs
+#: chosen to hit parser decision points, not just content.
+_NASTY_CHARS = "<>&\"'/=;![]- \x00é☃\U0001f600"
+
+
+@dataclass(frozen=True, slots=True)
+class InjectedFault:
+    """One applied fault: what kind, where, and what it did."""
+
+    kind: str
+    position: int
+    detail: str
+
+
+def corrupt_text(
+    text: str,
+    seed: int,
+    faults: int = 1,
+    kinds: tuple[str, ...] = TEXT_FAULT_KINDS,
+) -> tuple[str, list[InjectedFault]]:
+    """Apply ``faults`` seeded mutations to ``text``.
+
+    Returns the mutated text and the list of
+    :class:`InjectedFault` records describing each mutation, in
+    application order.  Deterministic in ``(text, seed, faults, kinds)``.
+    """
+    rng = random.Random(seed)
+    applied: list[InjectedFault] = []
+    for _ in range(faults):
+        if not text:
+            break
+        kind = rng.choice(kinds)
+        if kind == "truncate":
+            cut = rng.randrange(len(text))
+            applied.append(InjectedFault("truncate", cut, f"dropped {len(text) - cut} chars"))
+            text = text[:cut]
+        elif kind == "corrupt":
+            pos = rng.randrange(len(text))
+            replacement = rng.choice(_NASTY_CHARS)
+            mode = rng.choice(("replace", "insert", "delete"))
+            if mode == "replace":
+                detail = f"{text[pos]!r} -> {replacement!r}"
+                text = text[:pos] + replacement + text[pos + 1:]
+            elif mode == "insert":
+                detail = f"inserted {replacement!r}"
+                text = text[:pos] + replacement + text[pos:]
+            else:
+                detail = f"deleted {text[pos]!r}"
+                text = text[:pos] + text[pos + 1:]
+            applied.append(InjectedFault("corrupt", pos, detail))
+        elif kind == "duplicate":
+            start = rng.randrange(len(text))
+            length = rng.randint(1, min(16, len(text) - start))
+            applied.append(
+                InjectedFault("duplicate", start, f"repeated {text[start:start + length]!r}")
+            )
+            text = text[:start + length] + text[start:start + length] + text[start + length:]
+        elif kind == "reorder":
+            if len(text) < 2:
+                continue
+            mid = rng.randrange(1, len(text))
+            length = rng.randint(1, min(8, mid, len(text) - mid))
+            left = text[mid - length:mid]
+            right = text[mid:mid + length]
+            applied.append(InjectedFault("reorder", mid, f"swapped {left!r} and {right!r}"))
+            text = text[:mid - length] + right + left + text[mid + length:]
+        else:
+            raise ValueError(f"unknown fault kind {kind!r}")
+    return text, applied
+
+
+def byte_split_chunks(
+    text: str,
+    seed: int,
+    max_chunk: int = 7,
+) -> list[str]:
+    """Re-chunk ``text`` at seeded *byte* boundaries.
+
+    The text is encoded as UTF-8, split at arbitrary byte offsets — in
+    the middle of multi-byte sequences — and decoded back chunk-by-chunk
+    with an incremental decoder, exactly as a socket reader would.  The
+    concatenation equals ``text``; only the feed boundaries are hostile.
+    Empty chunks are included occasionally: a zero-byte read must be a
+    no-op for any consumer.
+    """
+    rng = random.Random(seed)
+    data = text.encode("utf-8")
+    decoder = codecs.getincrementaldecoder("utf-8")()
+    chunks: list[str] = []
+    index = 0
+    while index < len(data):
+        step = rng.randint(0, max_chunk)
+        piece = data[index:index + step]
+        index += step
+        chunks.append(decoder.decode(piece))
+    chunks.append(decoder.decode(b"", True))
+    return chunks
+
+
+class FaultyChunks:
+    """A deterministic fault-injecting wrapper over a chunk source.
+
+    Materialises the wrapped chunks (test corpora are small), applies
+    ``faults`` seeded text mutations, then re-emits the result across
+    seeded byte-boundary splits.  The applied mutations are recorded in
+    :attr:`faults` for assertion messages.
+
+    Iterating twice replays the identical chunk sequence.
+    """
+
+    def __init__(
+        self,
+        chunks: "Iterable[str] | str",
+        seed: int,
+        faults: int = 1,
+        kinds: tuple[str, ...] = TEXT_FAULT_KINDS,
+        max_chunk: int = 7,
+    ):
+        text = chunks if isinstance(chunks, str) else "".join(chunks)
+        self.seed = seed
+        self._max_chunk = max_chunk
+        self.text, self.faults = corrupt_text(text, seed, faults=faults, kinds=kinds)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(byte_split_chunks(self.text, self.seed, max_chunk=self._max_chunk))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        summary = ", ".join(f"{f.kind}@{f.position}" for f in self.faults) or "none"
+        return f"FaultyChunks(seed={self.seed}, faults=[{summary}])"
+
+
+#: Event-stream fault kinds for :class:`FaultyEvents`.
+EVENT_FAULT_KINDS = ("drop", "duplicate", "swap")
+
+
+class FaultyEvents:
+    """A deterministic event-stream mutator: drop, duplicate, or swap.
+
+    Event-level faults model a buggy *producer* rather than a hostile
+    network; consumers use them to verify that well-nesting guards
+    (:func:`repro.stream.events.validate_events`) actually trip.
+    """
+
+    def __init__(
+        self,
+        events: Iterable[Event],
+        seed: int,
+        faults: int = 1,
+        kinds: tuple[str, ...] = EVENT_FAULT_KINDS,
+    ):
+        self._events = list(events)
+        self.seed = seed
+        rng = random.Random(seed)
+        self.faults: list[InjectedFault] = []
+        for _ in range(faults):
+            if not self._events:
+                break
+            kind = rng.choice(kinds)
+            pos = rng.randrange(len(self._events))
+            if kind == "drop":
+                dropped = self._events.pop(pos)
+                self.faults.append(InjectedFault("drop", pos, str(dropped)))
+            elif kind == "duplicate":
+                self._events.insert(pos, self._events[pos])
+                self.faults.append(InjectedFault("duplicate", pos, str(self._events[pos])))
+            elif kind == "swap":
+                if len(self._events) < 2:
+                    continue
+                pos = min(pos, len(self._events) - 2)
+                self._events[pos], self._events[pos + 1] = (
+                    self._events[pos + 1],
+                    self._events[pos],
+                )
+                self.faults.append(InjectedFault("swap", pos, "adjacent events"))
+            else:
+                raise ValueError(f"unknown fault kind {kind!r}")
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)

@@ -12,8 +12,29 @@ non-validating processor must recognise — element tags with attributes,
 self-closing tags, character data with the five predefined entities and
 numeric character references, CDATA sections, comments, processing
 instructions, the XML declaration, and a DOCTYPE declaration (skipped,
-including an internal subset).  It rejects ill-formed input with
-:class:`~repro.errors.XmlSyntaxError` carrying a line/column position.
+including an internal subset).
+
+Three robustness facilities sit on top of the basic scan:
+
+* **Recovery policies** (:class:`~repro.stream.recovery.RecoveryPolicy`):
+  under ``strict`` (the default) ill-formed input raises
+  :class:`~repro.errors.XmlSyntaxError` with a line/column position;
+  under ``skip`` malformed regions are dropped and scanning resumes at
+  the next tag boundary; under ``repair`` the tokenizer additionally
+  synthesizes missing end tags so the emitted event stream is always
+  well-nested.  Every recovery action is surfaced as a
+  :class:`~repro.stream.recovery.StreamDiagnostic` through the
+  ``on_diagnostic`` callback and the bounded :attr:`diagnostics` list.
+
+* **Resource limits** (:class:`~repro.stream.recovery.ResourceLimits`):
+  depth, attribute-count, text-length, pending-input, and event-count
+  bounds enforced during the scan, so hostile documents fail after
+  O(limit) work and memory, never O(input).
+
+* **Checkpointing**: :meth:`snapshot` captures the complete mutable
+  state (pending buffer, open-element stack, cursor, counters) as a
+  JSON-serializable dict; :meth:`XmlTokenizer.restore` resumes a parse
+  bit-exactly, even from a position in the middle of a tag.
 
 Events carry ``level`` (depth, document element = 1) and ``node_id``
 (pre-order position, starting at 1) exactly as section 2 of the paper
@@ -24,10 +45,17 @@ from __future__ import annotations
 
 import io
 import os
-from typing import IO, Iterable, Iterator
+from typing import IO, Callable, Iterable, Iterator, NoReturn
 
-from repro.errors import XmlSyntaxError
+from repro.errors import CheckpointError, XmlSyntaxError
 from repro.stream.events import Characters, EndElement, Event, StartElement
+from repro.stream.recovery import (
+    ACTION_REPAIRED,
+    ACTION_SKIPPED,
+    RecoveryPolicy,
+    ResourceLimits,
+    StreamDiagnostic,
+)
 
 _NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_:")
 _NAME_CHARS = _NAME_START | set("0123456789.-")
@@ -40,6 +68,15 @@ _PREDEFINED_ENTITIES = {
     "apos": "'",
     "quot": '"',
 }
+
+#: Diagnostics retained on the tokenizer itself are capped so that a
+#: thoroughly corrupt multi-gigabyte feed cannot grow the list without
+#: bound; :attr:`XmlTokenizer.diagnostic_count` keeps the true total and
+#: the ``on_diagnostic`` callback sees every one.
+MAX_RETAINED_DIAGNOSTICS = 1000
+
+#: Snapshot schema version produced by :meth:`XmlTokenizer.snapshot`.
+TOKENIZER_SNAPSHOT_VERSION = 1
 
 
 def _is_name(text: str) -> bool:
@@ -76,7 +113,8 @@ class XmlTokenizer:
         for chunk in chunks:
             for event in tok.feed(chunk):
                 ...
-        tok.close()   # raises if the document is incomplete
+        for event in tok.close():   # raises (strict) if incomplete;
+            ...                     # yields synthesized ends (repair)
 
     Parameters
     ----------
@@ -84,18 +122,51 @@ class XmlTokenizer:
         When true (the default), character runs consisting solely of
         whitespace are not reported.  Query engines only consume text for
         value predicates, so indentation noise is pure overhead.
+    policy:
+        Malformed-input handling: ``"strict"`` (raise), ``"skip"`` (drop
+        and resynchronise), or ``"repair"`` (drop, resynchronise, and
+        synthesize missing end tags).  See
+        :class:`~repro.stream.recovery.RecoveryPolicy`.
+    on_diagnostic:
+        Callback invoked with each
+        :class:`~repro.stream.recovery.StreamDiagnostic` as recovery
+        actions happen (lenient policies only).
+    limits:
+        Optional :class:`~repro.stream.recovery.ResourceLimits`; crossing
+        any bound raises :class:`~repro.errors.ResourceLimitError`
+        regardless of policy.
     """
 
-    def __init__(self, skip_whitespace: bool = True):
+    def __init__(
+        self,
+        skip_whitespace: bool = True,
+        policy: "str | RecoveryPolicy" = RecoveryPolicy.STRICT,
+        on_diagnostic: Callable[[StreamDiagnostic], None] | None = None,
+        limits: ResourceLimits | None = None,
+    ):
         self._buffer = ""
         self._pos = 0  # scan offset into _buffer; compacted between feeds
         self._text_parts: list[str] = []  # pending character data
+        self._text_len = 0  # total characters staged in _text_parts
         self._skip_whitespace = skip_whitespace
         self._stack: list[str] = []
         self._next_id = 1
         self._seen_root = False
         self._closed = False
         self._cursor = _Cursor()
+        self._policy = RecoveryPolicy.coerce(policy)
+        self._on_diagnostic = on_diagnostic
+        self._limits = limits
+        self._event_count = 0
+        # Depth of a subtree being dropped by a lenient policy (a second
+        # document element, say): >0 means tags are balance-tracked but
+        # produce no events.
+        self._ignore_depth = 0
+        #: Recovery actions taken so far (capped at
+        #: :data:`MAX_RETAINED_DIAGNOSTICS`; see :attr:`diagnostic_count`).
+        self.diagnostics: list[StreamDiagnostic] = []
+        #: Total number of recovery actions, including any beyond the cap.
+        self.diagnostic_count = 0
 
     # -- public API ---------------------------------------------------
 
@@ -104,30 +175,159 @@ class XmlTokenizer:
         """Current element nesting depth."""
         return len(self._stack)
 
+    @property
+    def policy(self) -> RecoveryPolicy:
+        """The recovery policy this tokenizer runs under."""
+        return self._policy
+
     def feed(self, chunk: str) -> Iterator[Event]:
         """Consume ``chunk`` and yield all events completed by it."""
         if self._closed:
             raise XmlSyntaxError("feed() after close()", self._cursor.line, self._cursor.column)
         self._buffer += chunk
-        yield from self._drain()
+        for event in self._drain():
+            self._note_event()
+            yield event
+        if self._limits is not None:
+            # After _drain the buffer holds exactly the unfinished tail;
+            # this caps what a single unterminated construct (one giant
+            # tag, an unclosed CDATA section) can make us remember.
+            self._limits.check("max_buffered_input", len(self._buffer) - self._pos)
 
-    def close(self) -> None:
-        """Declare end of input; raise if the document is incomplete."""
+    def close(self) -> list[Event]:
+        """Declare end of input.
+
+        Under ``strict``, raises :class:`~repro.errors.XmlSyntaxError` if
+        the document is incomplete and returns ``[]``.  Under lenient
+        policies, returns the synthesized :class:`EndElement` events that
+        close any still-open elements (with diagnostics for each).
+        Idempotent: a second ``close()`` returns ``[]``.
+        """
         if self._closed:
-            return
+            return []
         self._closed = True
         leftover = self._buffer[self._pos:].strip()
+        self._buffer = ""
+        self._pos = 0
+        events: list[Event] = []
         if leftover:
-            self._error(f"unparsed trailing input {leftover[:40]!r}")
+            if self._policy is RecoveryPolicy.STRICT:
+                self._error(f"unparsed trailing input {leftover[:40]!r}")
+            self._diagnose(
+                f"dropped unparsed trailing input {leftover[:40]!r}", ACTION_SKIPPED
+            )
         if self._stack:
-            self._error(f"unexpected end of input with <{self._stack[-1]}> still open")
+            if self._policy is RecoveryPolicy.STRICT:
+                self._error(f"unexpected end of input with <{self._stack[-1]}> still open")
+            events.extend(self._flush_text())
+            while self._stack:
+                event = self._pop_end()
+                self._diagnose(
+                    f"synthesized missing </{event.tag}> at end of input",
+                    ACTION_REPAIRED,
+                )
+                events.append(event)
         if not self._seen_root:
-            self._error("document contains no element")
+            if self._policy is RecoveryPolicy.STRICT:
+                self._error("document contains no element")
+            self._diagnose("document contains no element", ACTION_SKIPPED)
+        for _ in events:
+            self._note_event()
+        return events
+
+    # -- checkpointing -------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Capture the complete mutable state as a JSON-serializable dict.
+
+        The pending buffer may hold a half-received tag: restore resumes
+        exactly there.  Configuration that is not plain data — the
+        ``on_diagnostic`` callback and the limits object — is supplied
+        anew to :meth:`restore`.
+        """
+        return {
+            "version": TOKENIZER_SNAPSHOT_VERSION,
+            "buffer": self._buffer[self._pos:],
+            "text_parts": list(self._text_parts),
+            "text_len": self._text_len,
+            "stack": list(self._stack),
+            "next_id": self._next_id,
+            "seen_root": self._seen_root,
+            "closed": self._closed,
+            "line": self._cursor.line,
+            "column": self._cursor.column,
+            "skip_whitespace": self._skip_whitespace,
+            "policy": self._policy.value,
+            "ignore_depth": self._ignore_depth,
+            "event_count": self._event_count,
+            "diagnostic_count": self.diagnostic_count,
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        state: dict,
+        on_diagnostic: Callable[[StreamDiagnostic], None] | None = None,
+        limits: ResourceLimits | None = None,
+    ) -> "XmlTokenizer":
+        """Rebuild a tokenizer from a :meth:`snapshot` capture."""
+        version = state.get("version")
+        if version != TOKENIZER_SNAPSHOT_VERSION:
+            raise CheckpointError(
+                f"unsupported tokenizer snapshot version {version!r} "
+                f"(expected {TOKENIZER_SNAPSHOT_VERSION})"
+            )
+        tokenizer = cls(
+            skip_whitespace=state["skip_whitespace"],
+            policy=state["policy"],
+            on_diagnostic=on_diagnostic,
+            limits=limits,
+        )
+        tokenizer._buffer = state["buffer"]
+        tokenizer._text_parts = list(state["text_parts"])
+        tokenizer._text_len = state["text_len"]
+        tokenizer._stack = list(state["stack"])
+        tokenizer._next_id = state["next_id"]
+        tokenizer._seen_root = state["seen_root"]
+        tokenizer._closed = state["closed"]
+        tokenizer._cursor.line = state["line"]
+        tokenizer._cursor.column = state["column"]
+        tokenizer._ignore_depth = state["ignore_depth"]
+        tokenizer._event_count = state["event_count"]
+        tokenizer.diagnostic_count = state["diagnostic_count"]
+        return tokenizer
+
+    # -- recovery / accounting ----------------------------------------
+
+    def _error(self, message: str) -> NoReturn:
+        raise XmlSyntaxError(message, self._cursor.line, self._cursor.column)
+
+    def _diagnose(
+        self,
+        message: str,
+        action: str,
+        line: int | None = None,
+        column: int | None = None,
+    ) -> None:
+        """Record one recovery action (lenient policies only)."""
+        diagnostic = StreamDiagnostic(
+            message,
+            line if line is not None else self._cursor.line,
+            column if column is not None else self._cursor.column,
+            action,
+        )
+        self.diagnostic_count += 1
+        if len(self.diagnostics) < MAX_RETAINED_DIAGNOSTICS:
+            self.diagnostics.append(diagnostic)
+        if self._on_diagnostic is not None:
+            self._on_diagnostic(diagnostic)
+
+    def _note_event(self) -> None:
+        self._event_count += 1
+        if self._limits is not None:
+            self._limits.check("max_total_events", self._event_count)
 
     # -- scanning -----------------------------------------------------
-
-    def _error(self, message: str) -> XmlSyntaxError:
-        raise XmlSyntaxError(message, self._cursor.line, self._cursor.column)
 
     def _consume(self, length: int) -> str:
         """Advance the scan offset by ``length``; return the skipped text."""
@@ -155,6 +355,7 @@ class XmlTokenizer:
             self._compact()
 
     def _scan(self) -> Iterator[Event]:
+        strict = self._policy is RecoveryPolicy.STRICT
         buffer = self._buffer
         while self._pos < len(buffer):
             pos = self._pos
@@ -184,7 +385,9 @@ class XmlTokenizer:
                     return
                 comment = buffer[pos + 4:end]
                 if "--" in comment:
-                    self._error("'--' not allowed inside a comment")
+                    if strict:
+                        self._error("'--' not allowed inside a comment")
+                    self._diagnose("'--' inside a comment", ACTION_SKIPPED)
                 self._consume(end + 3 - pos)
                 continue
             if buffer.startswith("<![CDATA[", pos):
@@ -215,13 +418,42 @@ class XmlTokenizer:
                         return
                     self._consume(end + 1 - pos)
                     continue
-                self._error(f"unrecognised markup {buffer[pos:pos + 12]!r}")
+                if strict:
+                    self._error(f"unrecognised markup {buffer[pos:pos + 12]!r}")
+                if not self._skip_bad_markup(pos):
+                    return  # closing '>' not received yet
+                continue
             gt = self._find_tag_end(pos)
+            if gt == -2:
+                continue  # lenient recovery consumed the bad tag text
             if gt == -1:
                 return
             tag_text = self._consume(gt + 1 - pos)
             yield from self._flush_text()
-            yield from self._handle_tag(tag_text)
+            try:
+                yield from self._handle_tag(tag_text)
+            except XmlSyntaxError as exc:
+                if strict:
+                    raise
+                # The malformed tag was already consumed: dropping it *is*
+                # the resynchronisation — the scan continues at the next
+                # tag boundary.
+                self._diagnose(
+                    f"dropped malformed tag: {exc.raw_message}",
+                    ACTION_SKIPPED,
+                    exc.line,
+                    exc.column,
+                )
+
+    def _skip_bad_markup(self, pos: int) -> bool:
+        """Drop an unrecognised ``<!...>`` construct; True when consumed."""
+        end = self._buffer.find(">", pos)
+        if end == -1:
+            return False
+        dropped = self._buffer[pos:pos + 12]
+        self._consume(end + 1 - pos)
+        self._diagnose(f"dropped unrecognised markup {dropped!r}", ACTION_SKIPPED)
+        return True
 
     def _doctype_end(self, pos: int) -> int:
         """Index of the '>' closing a DOCTYPE, honouring an internal subset."""
@@ -238,7 +470,12 @@ class XmlTokenizer:
         return -1
 
     def _find_tag_end(self, pos: int) -> int:
-        """Index of the '>' ending the tag at ``pos``, skipping quotes."""
+        """Index of the '>' ending the tag at ``pos``, skipping quotes.
+
+        Returns ``-1`` when the tag is still incomplete and ``-2`` when a
+        lenient policy dropped malformed tag text (rescan from the new
+        position).
+        """
         quote = ""
         buffer = self._buffer
         for index in range(pos, len(buffer)):
@@ -251,7 +488,13 @@ class XmlTokenizer:
             elif char == ">":
                 return index
             elif char == "<" and index > pos:
-                self._error("'<' inside a tag")
+                if self._policy is RecoveryPolicy.STRICT:
+                    self._error("'<' inside a tag")
+                dropped = self._consume(index - pos)
+                self._diagnose(
+                    f"'<' inside a tag; dropped {dropped[:40]!r}", ACTION_SKIPPED
+                )
+                return -2
         return -1
 
     # -- tag handling ---------------------------------------------------
@@ -259,37 +502,85 @@ class XmlTokenizer:
     def _handle_tag(self, text: str) -> Iterator[Event]:
         assert text[0] == "<" and text[-1] == ">"
         body = text[1:-1]
+        if self._ignore_depth:
+            # Inside a dropped subtree: track tag balance only.
+            if body.startswith("/"):
+                self._ignore_depth -= 1
+            elif not body.endswith("/"):
+                self._ignore_depth += 1
+            return
         if body.startswith("/"):
-            yield self._end_element(body[1:].strip())
+            yield from self._end_events(body[1:].strip())
             return
         self_closing = body.endswith("/")
         if self_closing:
             body = body[:-1]
         tag, attributes = self._parse_tag_body(body)
+        if not self._stack and self._seen_root:
+            if self._policy is RecoveryPolicy.STRICT:
+                self._error(f"second document element <{tag}>")
+            self._diagnose(
+                f"dropped second document element <{tag}>", ACTION_SKIPPED
+            )
+            if not self_closing:
+                self._ignore_depth = 1
+            return
         yield self._start_element(tag, attributes)
         if self_closing:
-            yield self._end_element(tag)
+            yield self._pop_end()
 
     def _start_element(self, tag: str, attributes: dict[str, str]) -> StartElement:
-        if not self._stack and self._seen_root:
-            self._error(f"second document element <{tag}>")
+        if self._limits is not None:
+            self._limits.check("max_depth", len(self._stack) + 1)
         self._seen_root = True
         self._stack.append(tag)
         event = StartElement(tag, len(self._stack), self._next_id, attributes)
         self._next_id += 1
         return event
 
-    def _end_element(self, tag: str) -> EndElement:
+    def _pop_end(self) -> EndElement:
+        """Pop the innermost open element and emit its end event."""
+        level = len(self._stack)
+        return EndElement(self._stack.pop(), level)
+
+    def _end_events(self, tag: str) -> Iterator[EndElement]:
+        """Handle ``</tag>``: one pop, or structural recovery."""
+        strict = self._policy is RecoveryPolicy.STRICT
         if not _is_name(tag):
-            self._error(f"malformed end tag </{tag}>")
+            if strict:
+                self._error(f"malformed end tag </{tag}>")
+            self._diagnose(f"dropped malformed end tag </{tag}>", ACTION_SKIPPED)
+            return
         if not self._stack:
-            self._error(f"end tag </{tag}> without open element")
+            if strict:
+                self._error(f"end tag </{tag}> without open element")
+            self._diagnose(
+                f"dropped stray end tag </{tag}> without open element",
+                ACTION_SKIPPED,
+            )
+            return
         expected = self._stack[-1]
         if expected != tag:
-            self._error(f"end tag </{tag}> does not match open <{expected}>")
-        level = len(self._stack)
-        self._stack.pop()
-        return EndElement(tag, level)
+            if strict:
+                self._error(f"end tag </{tag}> does not match open <{expected}>")
+            if self._policy is RecoveryPolicy.REPAIR and tag in self._stack:
+                # Close the intervening elements: their end tags are
+                # missing from the input, so synthesize them.
+                while self._stack[-1] != tag:
+                    event = self._pop_end()
+                    self._diagnose(
+                        f"synthesized missing </{event.tag}> before </{tag}>",
+                        ACTION_REPAIRED,
+                    )
+                    yield event
+                yield self._pop_end()
+                return
+            self._diagnose(
+                f"dropped end tag </{tag}> that does not match open <{expected}>",
+                ACTION_SKIPPED,
+            )
+            return
+        yield self._pop_end()
 
     def _parse_tag_body(self, body: str) -> tuple[str, dict[str, str]]:
         """Split ``a b="1" c='2'`` into the tag name and attribute dict."""
@@ -300,6 +591,7 @@ class XmlTokenizer:
         tag = body[:index]
         if not _is_name(tag):
             self._error(f"malformed tag name {tag!r}")
+        limits = self._limits
         attributes: dict[str, str] = {}
         while index < length:
             while index < length and body[index] in _WHITESPACE:
@@ -331,9 +623,13 @@ class XmlTokenizer:
             # XML attribute-value normalisation: literal whitespace becomes
             # a space *before* entity decoding (so &#10; survives as '\n').
             raw = body[index:end]
+            if limits is not None:
+                limits.check("max_attribute_length", len(raw))
             for ws in ("\t", "\n", "\r"):
                 raw = raw.replace(ws, " ")
             attributes[name] = self._decode_entities(raw)
+            if limits is not None:
+                limits.check("max_attributes", len(attributes))
             index = end + 1
         return tag, attributes
 
@@ -341,17 +637,50 @@ class XmlTokenizer:
 
     def _push_text(self, text: str, decode: bool = True) -> None:
         """Stage character data; adjacent runs coalesce into one event."""
+        if self._ignore_depth:
+            return
         if not self._stack:
             if text.strip():
-                self._error(f"character data {text.strip()[:40]!r} outside the document element")
+                if self._policy is RecoveryPolicy.STRICT:
+                    self._error(
+                        f"character data {text.strip()[:40]!r} outside the document element"
+                    )
+                self._diagnose(
+                    f"dropped character data {text.strip()[:40]!r} outside "
+                    "the document element",
+                    ACTION_SKIPPED,
+                )
             return
         # XML end-of-line normalisation (literal \r\n and \r become \n;
         # &#13; references, decoded below, survive).
         if "\r" in text:
             text = text.replace("\r\n", "\n").replace("\r", "\n")
         if decode:
-            text = self._decode_entities(text)
+            try:
+                text = self._decode_entities(text)
+            except XmlSyntaxError as exc:
+                if self._policy is RecoveryPolicy.STRICT:
+                    raise
+                if self._policy is RecoveryPolicy.SKIP:
+                    self._diagnose(
+                        f"dropped character data: {exc.raw_message}",
+                        ACTION_SKIPPED,
+                        exc.line,
+                        exc.column,
+                    )
+                    return
+                # repair: keep the raw text — data survives, the broken
+                # entity reference stays literal.
+                self._diagnose(
+                    f"kept undecoded character data: {exc.raw_message}",
+                    ACTION_REPAIRED,
+                    exc.line,
+                    exc.column,
+                )
         self._text_parts.append(text)
+        self._text_len += len(text)
+        if self._limits is not None:
+            self._limits.check("max_text_length", self._text_len)
 
     def _flush_text(self) -> Iterator[Characters]:
         """Emit pending character data as a single event."""
@@ -359,6 +688,7 @@ class XmlTokenizer:
             return
         text = "".join(self._text_parts)
         self._text_parts.clear()
+        self._text_len = 0
         if self._skip_whitespace and not text.strip():
             return
         yield Characters(text, len(self._stack))
@@ -392,7 +722,6 @@ class XmlTokenizer:
             except (ValueError, OverflowError):
                 self._error(f"bad character reference &{name};")
         self._error(f"unknown entity &{name}; (non-validating parser, no DTD entities)")
-        raise AssertionError("unreachable")
 
 
 # -- convenience event-source constructors -------------------------------
@@ -401,63 +730,112 @@ class XmlTokenizer:
 DEFAULT_CHUNK_SIZE = 64 * 1024
 
 
-def parse_string(text: str, skip_whitespace: bool = True) -> Iterator[Event]:
+def parse_string(
+    text: str,
+    skip_whitespace: bool = True,
+    *,
+    policy: "str | RecoveryPolicy" = RecoveryPolicy.STRICT,
+    on_diagnostic: Callable[[StreamDiagnostic], None] | None = None,
+    limits: ResourceLimits | None = None,
+) -> Iterator[Event]:
     """Tokenize a complete XML document held in a string."""
-    tokenizer = XmlTokenizer(skip_whitespace=skip_whitespace)
+    tokenizer = XmlTokenizer(
+        skip_whitespace=skip_whitespace,
+        policy=policy,
+        on_diagnostic=on_diagnostic,
+        limits=limits,
+    )
     yield from tokenizer.feed(text)
-    tokenizer.close()
+    yield from tokenizer.close()
 
 
-def parse_chunks(chunks: Iterable[str], skip_whitespace: bool = True) -> Iterator[Event]:
+def parse_chunks(
+    chunks: Iterable[str],
+    skip_whitespace: bool = True,
+    *,
+    policy: "str | RecoveryPolicy" = RecoveryPolicy.STRICT,
+    on_diagnostic: Callable[[StreamDiagnostic], None] | None = None,
+    limits: ResourceLimits | None = None,
+) -> Iterator[Event]:
     """Tokenize XML arriving as an iterable of text chunks."""
-    tokenizer = XmlTokenizer(skip_whitespace=skip_whitespace)
+    tokenizer = XmlTokenizer(
+        skip_whitespace=skip_whitespace,
+        policy=policy,
+        on_diagnostic=on_diagnostic,
+        limits=limits,
+    )
     for chunk in chunks:
         yield from tokenizer.feed(chunk)
-    tokenizer.close()
+    yield from tokenizer.close()
 
 
 def parse_file(
     source: str | os.PathLike[str] | IO[str],
     skip_whitespace: bool = True,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    *,
+    policy: "str | RecoveryPolicy" = RecoveryPolicy.STRICT,
+    on_diagnostic: Callable[[StreamDiagnostic], None] | None = None,
+    limits: ResourceLimits | None = None,
 ) -> Iterator[Event]:
     """Tokenize a file path or text file object, reading incrementally."""
     if hasattr(source, "read"):
-        yield from _parse_stream(source, skip_whitespace, chunk_size)  # type: ignore[arg-type]
+        yield from _parse_stream(source, skip_whitespace, chunk_size, policy, on_diagnostic, limits)  # type: ignore[arg-type]
         return
     with open(source, "r", encoding="utf-8") as handle:
-        yield from _parse_stream(handle, skip_whitespace, chunk_size)
+        yield from _parse_stream(handle, skip_whitespace, chunk_size, policy, on_diagnostic, limits)
 
 
-def _parse_stream(handle: IO[str], skip_whitespace: bool, chunk_size: int) -> Iterator[Event]:
-    tokenizer = XmlTokenizer(skip_whitespace=skip_whitespace)
+def _parse_stream(
+    handle: IO[str],
+    skip_whitespace: bool,
+    chunk_size: int,
+    policy: "str | RecoveryPolicy" = RecoveryPolicy.STRICT,
+    on_diagnostic: Callable[[StreamDiagnostic], None] | None = None,
+    limits: ResourceLimits | None = None,
+) -> Iterator[Event]:
+    tokenizer = XmlTokenizer(
+        skip_whitespace=skip_whitespace,
+        policy=policy,
+        on_diagnostic=on_diagnostic,
+        limits=limits,
+    )
     while True:
         chunk = handle.read(chunk_size)
         if not chunk:
             break
         yield from tokenizer.feed(chunk)
-    tokenizer.close()
+    yield from tokenizer.close()
 
 
-def events_from(source, skip_whitespace: bool = True) -> Iterator[Event]:
+def events_from(
+    source,
+    skip_whitespace: bool = True,
+    *,
+    policy: "str | RecoveryPolicy" = RecoveryPolicy.STRICT,
+    on_diagnostic: Callable[[StreamDiagnostic], None] | None = None,
+    limits: ResourceLimits | None = None,
+) -> Iterator[Event]:
     """Dispatch to the right parser for ``source``.
 
     Accepts XML text (a ``str`` containing ``<``), a path, an open text
-    file, an iterable of chunks, or an iterable of events (returned as-is).
+    file, an iterable of chunks, or an iterable of events (returned
+    as-is; recovery options do not apply to pre-built event streams).
     """
+    options = dict(policy=policy, on_diagnostic=on_diagnostic, limits=limits)
     if isinstance(source, str):
         if "<" in source:
-            return parse_string(source, skip_whitespace)
-        return parse_file(source, skip_whitespace)
+            return parse_string(source, skip_whitespace, **options)
+        return parse_file(source, skip_whitespace, **options)
     if isinstance(source, os.PathLike):
-        return parse_file(source, skip_whitespace)
+        return parse_file(source, skip_whitespace, **options)
     if isinstance(source, (io.TextIOBase,)) or hasattr(source, "read"):
-        return parse_file(source, skip_whitespace)
+        return parse_file(source, skip_whitespace, **options)
     iterator = iter(source)
-    return _dispatch_iterable(iterator, skip_whitespace)
+    return _dispatch_iterable(iterator, skip_whitespace, options)
 
 
-def _dispatch_iterable(iterator: Iterator, skip_whitespace: bool) -> Iterator[Event]:
+def _dispatch_iterable(iterator: Iterator, skip_whitespace: bool, options: dict) -> Iterator[Event]:
     try:
         first = next(iterator)
     except StopIteration:
@@ -467,7 +845,7 @@ def _dispatch_iterable(iterator: Iterator, skip_whitespace: bool) -> Iterator[Ev
             yield first
             yield from iterator
 
-        yield from parse_chunks(chained(), skip_whitespace)
+        yield from parse_chunks(chained(), skip_whitespace, **options)
     else:
         yield first
         yield from iterator

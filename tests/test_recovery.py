@@ -1,0 +1,177 @@
+"""Error recovery: strict/skip/repair policies, diagnostics, well-nesting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import XmlSyntaxError
+from repro.stream.events import (
+    Characters,
+    EndElement,
+    StartElement,
+    validate_events,
+    well_nested,
+)
+from repro.stream.recovery import (
+    ACTION_REPAIRED,
+    ACTION_SKIPPED,
+    RecoveryPolicy,
+    StreamDiagnostic,
+)
+from repro.stream.tokenizer import XmlTokenizer, parse_string
+
+
+def lenient_parse(text: str, policy):
+    diagnostics: list[StreamDiagnostic] = []
+    events = list(
+        parse_string(text, policy=policy, on_diagnostic=diagnostics.append)
+    )
+    return events, diagnostics
+
+
+class TestPolicyCoercion:
+    def test_from_string(self):
+        assert RecoveryPolicy.coerce("strict") is RecoveryPolicy.STRICT
+        assert RecoveryPolicy.coerce("skip") is RecoveryPolicy.SKIP
+        assert RecoveryPolicy.coerce("repair") is RecoveryPolicy.REPAIR
+
+    def test_from_enum(self):
+        assert RecoveryPolicy.coerce(RecoveryPolicy.REPAIR) is RecoveryPolicy.REPAIR
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="recovery policy"):
+            RecoveryPolicy.coerce("lenient")
+
+
+class TestStrictUnchanged:
+    """The default policy must behave exactly as before this layer existed."""
+
+    def test_malformed_tag_raises(self):
+        with pytest.raises(XmlSyntaxError):
+            list(parse_string("<a><1bad/></a>"))
+
+    def test_truncated_document_raises(self):
+        tokenizer = XmlTokenizer()
+        list(tokenizer.feed("<a><b>"))
+        with pytest.raises(XmlSyntaxError, match="still open"):
+            tokenizer.close()
+
+    def test_mismatched_end_raises(self):
+        with pytest.raises(XmlSyntaxError, match="does not match"):
+            list(parse_string("<a><b></a></b>"))
+
+
+class TestSkipPolicy:
+    def test_malformed_tag_dropped_with_diagnostic(self):
+        events, diagnostics = lenient_parse("<a><1bad/><b/></a>", RecoveryPolicy.SKIP)
+        tags = [e.tag for e in events if isinstance(e, StartElement)]
+        assert tags == ["a", "b"]
+        assert any(d.action == ACTION_SKIPPED for d in diagnostics)
+
+    def test_diagnostic_carries_position(self):
+        _, diagnostics = lenient_parse("<a>\n<1bad/></a>", RecoveryPolicy.SKIP)
+        bad = [d for d in diagnostics if "malformed" in d.message]
+        assert bad and bad[0].line == 2
+
+    def test_stray_end_tag_dropped(self):
+        events, diagnostics = lenient_parse("<a></b></a>", RecoveryPolicy.SKIP)
+        assert well_nested(events)
+        assert [e.tag for e in events if isinstance(e, EndElement)] == ["a"]
+        assert diagnostics
+
+    def test_output_always_well_nested(self):
+        corpora = [
+            "<a><b></a>",
+            "<a></b></a>",
+            "<a><b/></a><c/>",
+            "text before <a/>",
+            "<a>&badent;</a>",
+            "<a><!bogus></a>",
+        ]
+        for text in corpora:
+            events, _ = lenient_parse(text, RecoveryPolicy.SKIP)
+            assert well_nested(events), text
+            validate_events(events, allow_empty=True)
+
+
+class TestRepairPolicy:
+    def test_truncated_document_gets_synthesized_ends(self):
+        events, diagnostics = lenient_parse("<a><b><c>", RecoveryPolicy.REPAIR)
+        ends = [e.tag for e in events if isinstance(e, EndElement)]
+        assert ends == ["c", "b", "a"]
+        assert sum(d.action == ACTION_REPAIRED for d in diagnostics) == 3
+
+    def test_mismatched_end_synthesizes_intervening(self):
+        # </a> arrives while b is open: repair closes b first, then a.
+        events, diagnostics = lenient_parse("<a><b></a>", RecoveryPolicy.REPAIR)
+        ends = [e.tag for e in events if isinstance(e, EndElement)]
+        assert ends == ["b", "a"]
+        assert any(d.action == ACTION_REPAIRED for d in diagnostics)
+
+    def test_undecodable_entity_kept_raw(self):
+        events, diagnostics = lenient_parse("<a>&nosuch;</a>", RecoveryPolicy.REPAIR)
+        texts = [e.text for e in events if isinstance(e, Characters)]
+        assert texts == ["&nosuch;"]
+        assert diagnostics
+
+    def test_skip_drops_that_same_text(self):
+        events, _ = lenient_parse("<a>&nosuch;</a>", RecoveryPolicy.SKIP)
+        assert not [e for e in events if isinstance(e, Characters)]
+
+    def test_second_document_element_dropped_whole(self):
+        events, diagnostics = lenient_parse(
+            "<a/><b><c/></b>", RecoveryPolicy.REPAIR
+        )
+        tags = [e.tag for e in events if isinstance(e, StartElement)]
+        assert tags == ["a"]
+        assert diagnostics
+
+    def test_every_recovery_emits_a_diagnostic(self):
+        text = "<a><1bad/><b></a>"
+        events, diagnostics = lenient_parse(text, RecoveryPolicy.REPAIR)
+        # one skipped tag + one repaired end
+        assert len(diagnostics) >= 2
+        assert {d.action for d in diagnostics} == {ACTION_SKIPPED, ACTION_REPAIRED}
+        for d in diagnostics:
+            assert d.message
+            assert d.line >= 1 and d.column >= 1
+
+
+class TestDiagnosticsRetention:
+    def test_tokenizer_retains_capped_list(self):
+        tokenizer = XmlTokenizer(policy=RecoveryPolicy.SKIP)
+        list(tokenizer.feed("<a>"))
+        for _ in range(30):
+            list(tokenizer.feed("</nope>"))
+        list(tokenizer.feed("</a>"))
+        tokenizer.close()
+        assert tokenizer.diagnostic_count == 30
+        assert len(tokenizer.diagnostics) == 30
+
+    def test_levels_stay_consistent_after_recovery(self):
+        events, _ = lenient_parse(
+            "<a><x><1bad/><y/></x></a>", RecoveryPolicy.REPAIR
+        )
+        validate_events(events)
+        by_tag = {e.tag: e.level for e in events if isinstance(e, StartElement)}
+        assert by_tag == {"a": 1, "x": 2, "y": 3}
+
+
+class TestProcessorIntegration:
+    def test_stream_recovers_and_still_matches(self):
+        from repro import XPathStream
+
+        stream = XPathStream("//b", policy="repair")
+        stream.feed_text("<a><1junk/><b/><b>")  # truncated: second b unclosed
+        ids = stream.close()
+        assert len(ids) == 2
+        assert stream.diagnostics == []  # tokenizer detached after close
+
+    def test_diagnostic_callback_threaded(self):
+        from repro import XPathStream
+
+        seen: list[StreamDiagnostic] = []
+        stream = XPathStream("//b", policy="skip", on_diagnostic=seen.append)
+        stream.feed_text("<a><1junk/><b/></a>")
+        stream.close()
+        assert seen and seen[0].action == ACTION_SKIPPED
