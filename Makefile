@@ -3,7 +3,7 @@
 PYTHON ?= python3
 PROFILE ?= small
 
-.PHONY: install test robustness bench figures examples clean
+.PHONY: install test robustness bench multiq figures examples clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -18,6 +18,9 @@ robustness:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+multiq:
+	$(PYTHON) ci/multiq_smoke.py
 
 figures:
 	$(PYTHON) -m repro.bench --all --profile $(PROFILE)

@@ -1,0 +1,91 @@
+"""CI smoke: 1000 standing queries over XMark through the multiq engine.
+
+Checks the two acceptance properties of the shared dispatch engine:
+
+1. **Exactness** — routed multi-query results are byte-identical to
+   evaluating every query independently with its own
+   :class:`repro.core.processor.XPathStream` (the broadcast oracle).
+2. **Routing win** — the alphabet router delivers at least 5x fewer
+   machine events than broadcast would on the 1000-query workload.
+
+It then runs the full 10/100/1000 scaling benchmark and writes
+``BENCH_multiq.json`` so the perf trajectory is recorded per commit.
+
+Run from the repo root::
+
+    PYTHONPATH=src python ci/multiq_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.multiq import multiq_workload, run_benchmark, write_report
+from repro.core.processor import XPathStream
+from repro.datasets.xmark import xmark_events
+from repro.multiq.engine import MultiQueryEngine
+
+QUERY_COUNT = 1000
+SCALE = 1.0
+MIN_REDUCTION = 5.0
+REPORT = "BENCH_multiq.json"
+
+
+def main() -> int:
+    queries = multiq_workload(QUERY_COUNT)
+    events = list(xmark_events(SCALE))
+    print(f"multiq smoke: {len(queries)} queries, {len(events)} events")
+
+    engine = MultiQueryEngine(queries)
+    engine.feed_events(events)
+    routed = engine.results()
+    stats = engine.dispatch_stats()
+    print(
+        f"  {stats.units} machines, dispatched {stats.machine_events_dispatched} "
+        f"of {stats.machine_events_broadcast} broadcast machine-events "
+        f"({stats.reduction:.2f}x reduction)"
+    )
+
+    failures = 0
+    for name, query in queries.items():
+        expected = XPathStream(query).evaluate(events)
+        if routed[name] != expected:
+            failures += 1
+            if failures <= 5:
+                print(
+                    f"  MISMATCH {name} ({query}): "
+                    f"routed={routed[name]} expected={expected}",
+                    file=sys.stderr,
+                )
+    if failures:
+        print(
+            f"FAIL: {failures}/{len(queries)} queries diverge from "
+            f"independent evaluation",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"  all {len(queries)} query results identical to independent evaluation")
+
+    if stats.reduction < MIN_REDUCTION:
+        print(
+            f"FAIL: dispatch reduction {stats.reduction:.2f}x is below the "
+            f"{MIN_REDUCTION:.0f}x target",
+            file=sys.stderr,
+        )
+        return 1
+
+    payload = run_benchmark()
+    write_report(payload, REPORT)
+    for row in payload["rows"]:
+        print(
+            f"  bench: {row['queries']:>4} queries  "
+            f"{row['events_per_sec']:>8} events/s  "
+            f"reduction {row['reduction']:.2f}x"
+        )
+    print(f"wrote {REPORT}")
+    print("multiq smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

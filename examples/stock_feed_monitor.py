@@ -7,9 +7,10 @@ moment they are decidable — not when the document ends.
 
 This example simulates a ticker feed that streams one ``<tick>`` record
 at a time inside a never-closing ``<feed>`` root, and registers several
-standing queries through :class:`repro.core.multiquery.MultiQueryStream`:
-every query is evaluated in the same single pass, and matches surface via
-callbacks while the feed is still open.
+standing queries through :class:`repro.multiq.MultiQueryEngine`: the
+feed is parsed once, each event is routed only to the machines that can
+react to it, and matches surface via callbacks while the feed is still
+open.
 
 Run::
 
@@ -18,7 +19,7 @@ Run::
 
 import random
 
-from repro.core.multiquery import MultiQueryStream
+from repro.multiq import MultiQueryEngine
 
 STANDING_QUERIES = {
     "big-trade":    "//tick[volume > 9000]/symbol",
@@ -57,7 +58,7 @@ def main(n_ticks: int = 200, seed: int = 7) -> None:
         if hits[name] <= 3:  # show the first few alerts per query
             print(f"  ALERT {name:12s} -> node {node_id}")
 
-    feed = MultiQueryStream(STANDING_QUERIES, on_match=on_match)
+    feed = MultiQueryEngine(STANDING_QUERIES, on_match=on_match)
     print("engines chosen per standing query:")
     for name, engine in feed.engine_names().items():
         print(f"  {name:12s} {STANDING_QUERIES[name]:40s} [{engine}]")
@@ -74,6 +75,12 @@ def main(n_ticks: int = 200, seed: int = 7) -> None:
     print("\ntotals per standing query:")
     for name, count in hits.items():
         print(f"  {name:12s} {count:4d} alerts")
+    stats = feed.dispatch_stats()
+    print(
+        f"\nrouting: {stats.machine_events_dispatched} machine-events "
+        f"dispatched vs {stats.machine_events_broadcast} broadcast "
+        f"({stats.reduction:.1f}x reduction)"
+    )
     assert sum(hits.values()) > 0, "expected at least one alert"
 
 

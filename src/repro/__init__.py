@@ -19,6 +19,7 @@ Quickstart::
 Packages:
 
 * :mod:`repro.core` — the TwigM / PathM / BranchM machines.
+* :mod:`repro.multiq` — shared multi-query dispatch (one routed parse).
 * :mod:`repro.xpath` — XP{/,//,*,[]} parsing and query trees.
 * :mod:`repro.stream` — modified-SAX events, parsers, DOM, serialization.
 * :mod:`repro.baselines` — the comparator engines of the evaluation.
@@ -28,6 +29,7 @@ Packages:
 
 from repro.core.processor import XPathStream, evaluate
 from repro.core.twigm import TwigM
+from repro.multiq.engine import MultiQueryEngine
 from repro.errors import (
     CheckpointError,
     ReproError,
@@ -44,6 +46,7 @@ __version__ = "1.1.0"
 
 __all__ = [
     "CheckpointError",
+    "MultiQueryEngine",
     "QueryTree",
     "RecoveryPolicy",
     "ReproError",

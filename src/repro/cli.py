@@ -77,6 +77,14 @@ def _events(source: str):
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "multiq":
+        # ``python -m repro multiq ...`` — the shared multi-query
+        # dispatch engine's own front end (repro.multiq.cli).
+        from repro.multiq.cli import main as multiq_main
+
+        return multiq_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     engine = None if args.engine == "auto" else args.engine
@@ -152,8 +160,8 @@ def _read_query_file(path: str) -> dict[str, str]:
 
 
 def _run_multi(args) -> int:
-    """--queries mode: one pass, per-query incremental output."""
-    from repro.core.multiquery import MultiQueryStream
+    """--queries mode: one routed pass, per-query incremental output."""
+    from repro.multiq.engine import MultiQueryEngine
 
     queries = _read_query_file(args.queries)
     matched = False
@@ -172,9 +180,9 @@ def _run_multi(args) -> int:
             matched = True
             counts[name] += 1
 
-        feed = MultiQueryStream(queries, on_match=counting)
+        feed = MultiQueryEngine(queries, on_match=counting)
     else:
-        feed = MultiQueryStream(queries, on_match=on_match)
+        feed = MultiQueryEngine(queries, on_match=on_match)
     if args.explain:
         for name, engine_name in feed.engine_names().items():
             print(f"{name}: {queries[name]}  [{engine_name}]", file=sys.stderr)

@@ -1,30 +1,39 @@
-"""Multi-query evaluation: many XPath queries, one pass over the stream.
+"""Multi-query evaluation — deprecated shim over :mod:`repro.multiq`.
 
-Streaming deployments (the stock feeds and sensor networks of the
-paper's introduction) rarely run a single query: a dispatcher holds many
-standing queries against one feed.  :class:`MultiQueryStream` parses the
-stream once and fans each event out to one machine per query — the same
-events, one sequential scan, per-query incremental results.
+:class:`MultiQueryStream` was the broadcast dispatcher: one machine per
+query, every event delivered to every machine, O(#queries) work per
+event.  It is superseded by :class:`repro.multiq.MultiQueryEngine`,
+which canonicalizes/deduplicates queries and routes events through an
+inverted tag index so per-event work is proportional to the number of
+machines that can actually react.
 
-This is the natural library complement to the single-query engines; the
-related-work systems that specialise in *huge* numbers of queries
-(YFilter's shared automaton, XTrie) trade per-query machinery for shared
-prefixes and are out of scope, as in the paper.
+This module keeps the historical public API — construction from a name →
+query mapping, ``on_match(name, node_id)`` callback semantics,
+``feed_events``/``feed_text``/``close``/``evaluate``/``results``/
+``reset``, ``names`` and ``engine_names()`` — as a thin veneer over the
+new engine.  Results are byte-identical (the dispatch change is provably
+behaviour-preserving); only the per-event cost changed.  Constructing it
+emits a :class:`DeprecationWarning`; new code should use
+:class:`repro.multiq.MultiQueryEngine` directly.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Iterable, Mapping
 
-from repro.core.processor import XPathStream
-from repro.core.results import CallbackSink
+from repro.multiq.engine import MultiQueryEngine
 from repro.stream.events import Event
-from repro.stream.tokenizer import XmlTokenizer, events_from
 from repro.xpath.querytree import QueryTree
 
 
 class MultiQueryStream:
-    """Evaluate a set of named queries over one XML stream.
+    """Evaluate a set of named queries over one XML stream (deprecated).
+
+    A compatibility veneer over :class:`repro.multiq.MultiQueryEngine`;
+    see that class for the routed dispatch engine, live query
+    add/remove, per-query resource limits, dispatcher snapshots, and
+    dispatch statistics.
 
     Parameters
     ----------
@@ -49,54 +58,38 @@ class MultiQueryStream:
         queries: Mapping[str, "str | QueryTree"],
         on_match: "Callable[[str, int], None] | None" = None,
     ):
+        warnings.warn(
+            "MultiQueryStream is deprecated; use repro.multiq.MultiQueryEngine",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if not queries:
             raise ValueError("MultiQueryStream needs at least one query")
-        self._streams: dict[str, XPathStream] = {}
-        for name, query in queries.items():
-            if on_match is None:
-                self._streams[name] = XPathStream(query)
-            else:
-                callback = self._bind(on_match, name)
-                self._streams[name] = XPathStream(query, on_match=callback)
+        self._engine = MultiQueryEngine(queries, on_match=on_match)
         self._on_match = on_match
-        self._tokenizer: XmlTokenizer | None = None
-
-    @staticmethod
-    def _bind(on_match: Callable[[str, int], None], name: str) -> Callable[[int], None]:
-        def forward(node_id: int) -> None:
-            on_match(name, node_id)
-
-        return forward
 
     @property
     def names(self) -> list[str]:
-        return list(self._streams)
+        return self._engine.names
 
     def engine_names(self) -> dict[str, str]:
         """Which machine evaluates each query (pathm/branchm/twigm)."""
-        return {name: stream.engine_name for name, stream in self._streams.items()}
+        return self._engine.engine_names()
 
     # -- feeding ---------------------------------------------------------------
 
     def feed_events(self, events: Iterable[Event]) -> None:
-        """Fan a batch of events out to every query's machine."""
-        streams = list(self._streams.values())
-        for event in events:
-            for stream in streams:
-                stream.engine.feed((event,))
+        """Dispatch a batch of events to every interested machine."""
+        self._engine.feed_events(events)
 
     def feed_text(self, chunk: str) -> None:
-        """Incrementally parse raw XML and fan the events out."""
-        if self._tokenizer is None:
-            self._tokenizer = XmlTokenizer()
-        self.feed_events(self._tokenizer.feed(chunk))
+        """Incrementally parse raw XML and dispatch the events."""
+        self._engine.feed_text(chunk)
 
     def close(self) -> "dict[str, list[int]] | None":
         """Finish an incremental feed; return collected results (if any)."""
-        if self._tokenizer is not None:
-            self._tokenizer.close()
-            self._tokenizer = None
-        return None if self._on_match is not None else self.results()
+        results = self._engine.close()
+        return None if self._on_match is not None else results
 
     # -- results ---------------------------------------------------------------
 
@@ -104,7 +97,7 @@ class MultiQueryStream:
         """Per-query solutions collected so far (collect mode only)."""
         if self._on_match is not None:
             raise AttributeError("results are not collected when on_match is set")
-        return {name: stream.results for name, stream in self._streams.items()}
+        return self._engine.results()
 
     def evaluate(self, source) -> dict[str, list[int]]:
         """One-shot: evaluate every query over ``source`` in one pass.
@@ -112,13 +105,11 @@ class MultiQueryStream:
         Returns per-query results in collect mode, ``{}`` in callback
         mode (matches were already delivered to ``on_match``).
         """
-        self.feed_events(events_from(source))
+        results = self._engine.evaluate(source)
         if self._on_match is not None:
             return {}
-        return self.results()
+        return results
 
     def reset(self) -> None:
         """Prepare every machine for a fresh document."""
-        for stream in self._streams.values():
-            stream.reset()
-        self._tokenizer = None
+        self._engine.reset()

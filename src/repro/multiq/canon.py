@@ -1,0 +1,52 @@
+"""Query canonicalization and dedup keys (layer 1 of the dispatch engine).
+
+Large standing-query sets repeat themselves: monitoring fleets template
+their queries, users copy-paste, and surface spelling varies
+(``//a[./b]`` vs ``//a[b]``).  The multi-query engine therefore keys its
+shared machines on the *structure* of the compiled
+:class:`~repro.xpath.querytree.QueryTree` — the structural
+``__eq__``/``__hash__`` of the query-tree types — not on query text, so
+every distinct spelling of one query shares one machine.
+
+Two queries may only share a machine when they would also share runtime
+behaviour, which additionally requires identical
+:class:`~repro.stream.recovery.ResourceLimits` (limits are enforced
+inside the machine); :func:`dedup_key` folds both into one hashable key.
+"""
+
+from __future__ import annotations
+
+from repro.stream.recovery import ResourceLimits
+from repro.xpath.querytree import QueryTree, compile_query
+
+#: A hashable machine-sharing key: (query structure, resource limits).
+DedupKey = tuple
+
+
+def canonicalize(query: "str | QueryTree") -> QueryTree:
+    """Compile ``query`` (if textual) into its canonical tree form."""
+    if isinstance(query, QueryTree):
+        return query
+    return compile_query(query)
+
+
+def canonical_text(query: "str | QueryTree") -> str:
+    """The canonical XPath spelling of ``query``.
+
+    Derived from the tree itself (:mod:`repro.xpath.unparse`), so any two
+    structurally equal queries canonicalize to the same text — the
+    human-readable face of :func:`dedup_key`, used in logs and the CLI's
+    ``--explain`` output.
+    """
+    from repro.xpath.unparse import unparse_query
+
+    return unparse_query(canonicalize(query))
+
+
+def dedup_key(tree: QueryTree, limits: ResourceLimits | None = None) -> DedupKey:
+    """The machine-sharing key for ``tree`` under ``limits``.
+
+    Structurally equal queries with equal limits — and only those — may
+    be multiplexed onto one machine instance.
+    """
+    return (tree.structure(), limits)

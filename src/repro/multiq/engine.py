@@ -1,0 +1,498 @@
+"""The shared multi-query dispatch engine (layer 4 front door).
+
+:class:`MultiQueryEngine` evaluates many named standing XPath queries
+over one XML stream, parsing the stream once and routing each event only
+to the machines that can react to it:
+
+* identical queries (structural equality, equal limits) share one
+  machine with multiplexed result sinks (:mod:`repro.multiq.canon`,
+  :mod:`repro.multiq.registry`);
+* events are dispatched through an inverted tag index
+  (:mod:`repro.multiq.router`), so per-event work is proportional to the
+  number of *interested* machines, not the number of registered queries;
+* queries can be added and removed on a live stream, each admitted with
+  its own :class:`~repro.stream.recovery.ResourceLimits`;
+* :meth:`snapshot` / :meth:`restore` capture the whole dispatcher —
+  every machine, every sink, the mid-parse tokenizer — as one versioned
+  JSON-serializable dict, composing the per-machine checkpointing of
+  :class:`~repro.core.processor.XPathStream`.
+
+Example::
+
+    from repro.multiq import MultiQueryEngine
+
+    engine = MultiQueryEngine({
+        "cheap":  "//book[price < 30]/title",
+        "recent": "//book[@year = '2006']/title",
+    })
+    results = engine.evaluate("catalog.xml")
+    engine.dispatch_stats().reduction   # routing win vs broadcast
+
+Filtered dispatch is exact, not approximate: a machine only mutates
+state on events whose tag its dispatch table contains, so skipping the
+rest is provably equivalent (see :mod:`repro.multiq.router` for the
+end-tag and character-data arguments).  Results are byte-identical to
+evaluating every query with its own :class:`XPathStream`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping
+
+from repro.core.results import CallbackSink, CollectingSink, ResultSink
+from repro.errors import CheckpointError
+from repro.multiq.canon import canonical_text
+from repro.multiq.registry import EvalUnit, QueryRegistry, Registration
+from repro.multiq.router import AlphabetRouter
+from repro.stream.events import Characters, EndElement, Event, StartElement
+from repro.stream.recovery import RecoveryPolicy, ResourceLimits, StreamDiagnostic
+from repro.stream.tokenizer import XmlTokenizer, events_from
+from repro.xpath.querytree import QueryTree
+
+#: Version of the dispatcher snapshot schema.
+MULTIQ_SNAPSHOT_VERSION = 1
+
+
+@dataclass(frozen=True, slots=True)
+class DispatchStats:
+    """Routing effectiveness counters for one engine.
+
+    ``machine_events_broadcast`` is the counterfactual cost of the
+    broadcast dispatcher (every event × every registered query — what
+    ``repro.core.multiquery`` used to pay); ``machine_events_dispatched``
+    is what the router actually delivered.
+    """
+
+    events: int
+    queries: int
+    units: int
+    machine_events_dispatched: int
+    machine_events_broadcast: int
+
+    @property
+    def reduction(self) -> float:
+        """Broadcast-to-dispatched ratio (≥ 1.0 is a win)."""
+        if self.machine_events_dispatched == 0:
+            return float("inf") if self.machine_events_broadcast else 1.0
+        return self.machine_events_broadcast / self.machine_events_dispatched
+
+    def to_dict(self) -> dict:
+        return {
+            "events": self.events,
+            "queries": self.queries,
+            "units": self.units,
+            "machine_events_dispatched": self.machine_events_dispatched,
+            "machine_events_broadcast": self.machine_events_broadcast,
+            "reduction": self.reduction,
+        }
+
+
+def _noop(_node_id: int) -> None:
+    """Placeholder callback for restored callback queries (see restore)."""
+
+
+class MultiQueryEngine:
+    """Many standing queries, one parse, alphabet-routed dispatch.
+
+    Parameters
+    ----------
+    queries:
+        Optional initial mapping of query name → XPath string (or
+        compiled :class:`~repro.xpath.querytree.QueryTree`); more can be
+        added later with :meth:`add_query`, even mid-stream.
+    on_match:
+        Optional callback ``(name, node_id)`` fired as soon as any query
+        confirms a solution.  Queries registered without a per-query
+        callback inherit it; without any callback, results collect per
+        query (:meth:`results`).
+    policy / on_diagnostic / limits:
+        Recovery configuration for the *shared text parse*
+        (:meth:`feed_text` / :meth:`evaluate`), as in
+        :class:`~repro.core.processor.XPathStream`.  ``limits`` here
+        bounds the tokenizer; per-query machine limits are passed to
+        :meth:`add_query` instead.
+    """
+
+    def __init__(
+        self,
+        queries: "Mapping[str, str | QueryTree] | None" = None,
+        on_match: "Callable[[str, int], None] | None" = None,
+        *,
+        policy: "str | RecoveryPolicy" = RecoveryPolicy.STRICT,
+        on_diagnostic: "Callable[[StreamDiagnostic], None] | None" = None,
+        limits: ResourceLimits | None = None,
+    ):
+        self._registry = QueryRegistry()
+        self._router = AlphabetRouter()
+        self._on_match = on_match
+        self._policy = RecoveryPolicy.coerce(policy)
+        self._on_diagnostic = on_diagnostic
+        self._limits = limits
+        self._tokenizer: XmlTokenizer | None = None
+        self._virgin_units: set[EvalUnit] = set()
+        self._events = 0
+        self._dispatched = 0
+        self._broadcast = 0
+        if queries:
+            for name, query in queries.items():
+                self.add_query(name, query)
+
+    # -- introspection --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._registry)
+
+    @property
+    def names(self) -> list[str]:
+        """Registered query names, in registration order."""
+        return self._registry.names
+
+    def engine_names(self) -> dict[str, str]:
+        """Which machine evaluates each query (pathm/branchm/twigm)."""
+        return self._registry.engine_names()
+
+    def unit_count(self) -> int:
+        """Distinct machine instances after dedup (≤ query count)."""
+        return self._registry.unit_count()
+
+    def canonical_queries(self) -> dict[str, str]:
+        """Each query's canonical XPath spelling (the dedup face)."""
+        return {
+            registration.name: registration.canonical
+            for registration in self._registry.registrations()
+        }
+
+    def dispatch_stats(self) -> DispatchStats:
+        """Routing counters accumulated since construction (or reset)."""
+        return DispatchStats(
+            events=self._events,
+            queries=len(self._registry),
+            units=self._registry.unit_count(),
+            machine_events_dispatched=self._dispatched,
+            machine_events_broadcast=self._broadcast,
+        )
+
+    # -- lifecycle ------------------------------------------------------
+
+    def add_query(
+        self,
+        name: str,
+        query: "str | QueryTree",
+        *,
+        on_match: "Callable[[int], None] | None" = None,
+        limits: ResourceLimits | None = None,
+    ) -> Registration:
+        """Register a standing query, possibly mid-stream.
+
+        ``on_match`` (per-query, receives the node id) overrides the
+        engine-level callback; ``limits`` admits the query's machine
+        under its own :class:`ResourceLimits` (such machines see every
+        event so limit accounting matches a dedicated stream).
+
+        A query added mid-stream starts cold: it evaluates the remainder
+        of the stream exactly as a fresh :class:`XPathStream` started at
+        this event boundary would, and never shares a warm machine.
+        """
+        sink = self._make_sink(name, on_match)
+        registration, created = self._registry.add(
+            name,
+            query,
+            sink,
+            limits=limits,
+            callback=self._is_callback(on_match),
+        )
+        if created is not None:
+            self._router.add(created)
+            self._virgin_units.add(created)
+        return registration
+
+    def remove_query(self, name: str) -> Registration:
+        """Withdraw a standing query; its machine is dropped with the
+        last sharer.  Collected results for ``name`` are discarded."""
+        registration, unit_dropped = self._registry.remove(name)
+        if unit_dropped:
+            self._router.remove(registration.unit)
+            self._virgin_units.discard(registration.unit)
+        return registration
+
+    def _is_callback(self, per_query: "Callable[[int], None] | None") -> bool:
+        return per_query is not None or self._on_match is not None
+
+    def _make_sink(
+        self, name: str, per_query: "Callable[[int], None] | None"
+    ) -> ResultSink:
+        if per_query is not None:
+            return CallbackSink(per_query)
+        if self._on_match is not None:
+            on_match = self._on_match
+
+            def forward(node_id: int, _name: str = name) -> None:
+                on_match(_name, node_id)
+
+            return CallbackSink(forward)
+        return CollectingSink()
+
+    # -- feeding --------------------------------------------------------
+
+    def feed_events(self, events: Iterable[Event]) -> None:
+        """Dispatch a batch of modified-SAX events through the router."""
+        router = self._router
+        registry = self._registry
+        for event in events:
+            self._events += 1
+            self._broadcast += len(registry)
+            if isinstance(event, StartElement):
+                units = router.units_for_tag(event.tag)
+                for unit in units:
+                    unit.engine.start_element(
+                        event.tag, event.level, event.node_id, event.attributes
+                    )
+            elif isinstance(event, EndElement):
+                units = router.units_for_tag(event.tag)
+                for unit in units:
+                    unit.engine.end_element(event.tag, event.level)
+            else:  # Characters
+                units = router.text_units()
+                for unit in units:
+                    unit.engine.characters(event.text)
+            self._dispatched += len(units)
+            limited = router.limited_units()
+            if limited:
+                packet = (event,)
+                for unit in limited:
+                    unit.engine.feed(packet)
+                self._dispatched += len(limited)
+            if self._virgin_units:
+                self._touch(units, limited)
+
+    def _touch(self, *delivered: Iterable[EvalUnit]) -> None:
+        """Units that processed an event stop accepting new sharers."""
+        for group in delivered:
+            for unit in group:
+                if unit.virgin:
+                    unit.virgin = False
+                    self._virgin_units.discard(unit)
+
+    def feed_text(self, chunk: str) -> None:
+        """Incrementally parse raw XML once and dispatch its events."""
+        if self._tokenizer is None:
+            self._tokenizer = XmlTokenizer(
+                policy=self._policy,
+                on_diagnostic=self._on_diagnostic,
+                limits=self._limits,
+            )
+        self.feed_events(self._tokenizer.feed(chunk))
+
+    def close(self) -> dict[str, list[int]]:
+        """Finish an incremental feed; return collected results.
+
+        Under a lenient policy the tokenizer may synthesize end events
+        for a truncated document here; they are dispatched normally.
+        """
+        if self._tokenizer is not None:
+            final_events = self._tokenizer.close()
+            if final_events:
+                self.feed_events(final_events)
+            self._tokenizer = None
+        return self.results()
+
+    def evaluate(self, source) -> dict[str, list[int]]:
+        """One-shot: every query over ``source`` in one pass."""
+        self.feed_events(
+            events_from(
+                source,
+                policy=self._policy,
+                on_diagnostic=self._on_diagnostic,
+                limits=self._limits,
+            )
+        )
+        return self.results()
+
+    # -- results --------------------------------------------------------
+
+    def results(self) -> dict[str, list[int]]:
+        """Per-query solutions collected so far.
+
+        Covers collect-mode queries only; callback-mode queries deliver
+        through their callbacks and do not appear here.
+        """
+        collected: dict[str, list[int]] = {}
+        for registration in self._registry.registrations():
+            sink = registration.unit.sink.sinks[registration.name]
+            if isinstance(sink, CollectingSink):
+                collected[registration.name] = list(sink.results)
+        return collected
+
+    def reset(self) -> None:
+        """Prepare every machine for a fresh document.
+
+        Machines, sinks, the tokenizer, and dispatch statistics are
+        cleared; registrations survive, and all units become shareable
+        again (cold state is indistinguishable from a fresh machine).
+        """
+        for unit in self._registry.units():
+            unit.engine.reset()
+            for sink in unit.sink.sinks.values():
+                if isinstance(sink, CollectingSink):
+                    sink.results.clear()
+                    sink._seen.clear()
+                elif isinstance(sink, CallbackSink):
+                    sink._seen.clear()
+            unit.virgin = True
+        self._virgin_units = set(self._registry.units())
+        self._tokenizer = None
+        self._events = self._dispatched = self._broadcast = 0
+
+    # -- checkpoint / resume --------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Capture the whole dispatcher as a versioned, serializable dict.
+
+        The capture spans every unit's machine stacks and multiplexed
+        sink state, the query registrations (grouping included, so dedup
+        survives restore exactly), the mid-parse tokenizer, and the
+        dispatch counters.
+        """
+        return {
+            "version": MULTIQ_SNAPSHOT_VERSION,
+            "policy": self._policy.value,
+            "limits": self._limits.to_dict() if self._limits is not None else None,
+            "queries": [
+                {
+                    "name": registration.name,
+                    "query": registration.source,
+                    "limits": (
+                        registration.limits.to_dict()
+                        if registration.limits is not None
+                        else None
+                    ),
+                    "callback": registration.callback,
+                }
+                for registration in self._registry.registrations()
+            ],
+            "units": [
+                {
+                    "queries": unit.names,
+                    "engine": unit.engine_name,
+                    "virgin": unit.virgin,
+                    "machine": unit.engine.snapshot_state(),
+                    "sinks": unit.sink.snapshot_state(),
+                }
+                for unit in self._registry.units()
+            ],
+            "tokenizer": (
+                self._tokenizer.snapshot() if self._tokenizer is not None else None
+            ),
+            "stats": {
+                "events": self._events,
+                "dispatched": self._dispatched,
+                "broadcast": self._broadcast,
+            },
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        snapshot: dict,
+        on_match: "Callable[[str, int], None] | None" = None,
+        on_diagnostic: "Callable[[StreamDiagnostic], None] | None" = None,
+    ) -> "MultiQueryEngine":
+        """Rebuild a dispatcher from a :meth:`snapshot` capture.
+
+        Callbacks are not serializable: ``on_match`` is supplied anew and
+        rebinds every callback-mode query (ids emitted before the
+        checkpoint are remembered and will not fire again); without it,
+        callback-mode queries restore onto a silent sink so their
+        de-duplication state is still preserved.
+        """
+        version = snapshot.get("version")
+        if version != MULTIQ_SNAPSHOT_VERSION:
+            raise CheckpointError(
+                f"unsupported multiq snapshot version {version!r} "
+                f"(expected {MULTIQ_SNAPSHOT_VERSION})"
+            )
+        try:
+            engine = cls(
+                on_match=on_match,
+                policy=snapshot["policy"],
+                on_diagnostic=on_diagnostic,
+                limits=ResourceLimits.from_dict(snapshot.get("limits")),
+            )
+            engine._restore_queries(snapshot)
+            stats = snapshot.get("stats", {})
+            engine._events = stats.get("events", 0)
+            engine._dispatched = stats.get("dispatched", 0)
+            engine._broadcast = stats.get("broadcast", 0)
+            if snapshot.get("tokenizer") is not None:
+                engine._tokenizer = XmlTokenizer.restore(
+                    snapshot["tokenizer"],
+                    on_diagnostic=on_diagnostic,
+                    limits=engine._limits,
+                )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed multiq snapshot: {exc}") from exc
+        return engine
+
+    def _restore_queries(self, snapshot: dict) -> None:
+        """Rebuild units and registrations, preserving grouping and order."""
+        from repro.multiq.canon import canonicalize
+        from repro.xpath.querytree import compile_query
+
+        payloads = {payload["name"]: payload for payload in snapshot["queries"]}
+        pending: dict[str, tuple[Registration, bool]] = {}
+        for unit_payload in snapshot["units"]:
+            members = unit_payload["queries"]
+            if not members:
+                raise CheckpointError("multiq snapshot unit with no queries")
+            first = payloads[members[0]]
+            limits = ResourceLimits.from_dict(first.get("limits"))
+            tree = canonicalize(first["query"])
+            unit = EvalUnit(tree, limits, engine_name=unit_payload["engine"])
+            unit.virgin = bool(unit_payload.get("virgin", False))
+            for index, member in enumerate(members):
+                payload = payloads[member]
+                if index and compile_query(payload["query"]) != tree:
+                    raise CheckpointError(
+                        f"multiq snapshot groups {member!r} with a machine "
+                        f"for a different query"
+                    )
+                sink = self._restored_sink(member, bool(payload["callback"]))
+                unit.sink.add(member, sink)
+                pending[member] = (
+                    Registration(
+                        name=member,
+                        source=payload["query"],
+                        canonical=canonical_text(tree),
+                        tree=tree,
+                        limits=limits,
+                        unit=unit,
+                        callback=bool(payload["callback"]),
+                    ),
+                    member == members[0],
+                )
+            unit.engine.restore_state(unit_payload["machine"])
+            unit.sink.restore_state(unit_payload["sinks"])
+        if set(pending) != set(payloads):
+            raise CheckpointError(
+                "multiq snapshot units do not cover the registered queries"
+            )
+        for payload in snapshot["queries"]:
+            registration, new_unit = pending[payload["name"]]
+            self._registry.adopt(registration, new_unit)
+            if new_unit:
+                self._router.add(registration.unit)
+                if registration.unit.virgin:
+                    self._virgin_units.add(registration.unit)
+
+    def _restored_sink(self, name: str, callback: bool) -> ResultSink:
+        if not callback:
+            return CollectingSink()
+        if self._on_match is None:
+            return CallbackSink(_noop)
+        on_match = self._on_match
+
+        def forward(node_id: int, _name: str = name) -> None:
+            on_match(_name, node_id)
+
+        return CallbackSink(forward)

@@ -1,0 +1,159 @@
+"""The alphabet router (layer 2): tag → interested machines.
+
+The broadcast dispatcher pays O(#queries) per event even when most
+machines cannot react.  But a machine's transition functions only fire
+for events whose tag appears in its dispatch table
+(:meth:`repro.core.machine.Machine.nodes_for_tag`) — every other
+start/end tag is a provable no-op, and ``Characters`` events matter only
+to machines with value-tested nodes.  The router exploits exactly that:
+
+* each registered unit is statically analysed once
+  (:func:`machine_alphabet`): the set of concrete tags its machine
+  dispatches on, whether it holds materialised ``'*'`` nodes (which see
+  every tag — note that *interior* wildcards folded into parent-edge
+  distances by machine construction need no events, so ``//a/*/b``
+  routes on ``{a, b}`` alone), and whether it needs character data;
+* an inverted index tag → interested units is built lazily per tag and
+  memoised, so steady-state dispatch is one dict lookup plus a loop over
+  the interested units only.
+
+``//`` reachability costs nothing extra: parent edges are level
+arithmetic, never intermediate tags, so a machine for ``//a//b`` is
+untouched by the tags *between* ``a`` and ``b`` in the document.
+
+End-tag consistency is structural rather than tracked: a machine skipped
+for ``<t>`` is also skipped for the matching ``</t>`` (same tag), and
+since events carry their level explicitly the machine's level arithmetic
+never desynchronises — filtered delivery is *exactly* equivalent to full
+delivery, not an approximation.
+
+Units carrying :class:`~repro.stream.recovery.ResourceLimits` are the
+one exception: their machines count every event (``max_total_events``)
+and probe every start tag's depth (``max_depth``), so they are kept on
+an unfiltered path (:meth:`AlphabetRouter.limited_units`) to preserve
+per-query admission semantics bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol
+
+from repro.core.machine import Machine
+
+#: Memoised routing lists are kept for at most this many distinct tags;
+#: beyond it (adversarial tag churn) lookups fall back to a linear scan
+#: so router memory stays bounded by the document's *useful* vocabulary.
+DEFAULT_CACHE_LIMIT = 4096
+
+
+def machine_alphabet(machine: Machine) -> tuple[frozenset[str], bool, bool]:
+    """Static interest analysis of one compiled machine.
+
+    Returns ``(tags, wants_all, wants_text)``: the concrete tags the
+    machine dispatches on, whether it holds ``'*'``-labelled machine
+    nodes (and must therefore see every element event), and whether it
+    accumulates character data (value-tested nodes).
+    """
+    return (
+        frozenset(machine.by_label),
+        bool(machine.wildcards),
+        bool(machine.value_nodes),
+    )
+
+
+class RoutableUnit(Protocol):
+    """What the router needs from a unit (see ``repro.multiq.registry``)."""
+
+    interest: frozenset[str]
+    wants_all: bool
+    wants_text: bool
+    routable: bool
+
+
+class AlphabetRouter:
+    """Inverted index from tags to the machine units that can react.
+
+    Units are partitioned on registration:
+
+    * *routable* units receive start/end events only for tags in their
+      alphabet (or all tags, for wildcard machines) and ``Characters``
+      only when value-tested;
+    * *limited* units (non-``None`` ResourceLimits) receive every event
+      unfiltered, via :meth:`limited_units`.
+
+    ``add``/``remove`` invalidate the memoised per-tag lists, so the
+    index is always consistent with the live query set.
+    """
+
+    def __init__(self, cache_limit: int = DEFAULT_CACHE_LIMIT):
+        self._routable: list[RoutableUnit] = []
+        self._limited: list[RoutableUnit] = []
+        self._cache_limit = cache_limit
+        self._by_tag: dict[str, list[RoutableUnit]] = {}
+        self._text: list[RoutableUnit] | None = None
+
+    # -- membership -----------------------------------------------------
+
+    def add(self, unit: RoutableUnit) -> None:
+        """Register a unit and invalidate the memoised index."""
+        (self._routable if unit.routable else self._limited).append(unit)
+        self.invalidate()
+
+    def remove(self, unit: RoutableUnit) -> None:
+        """Drop a unit and invalidate the memoised index."""
+        (self._routable if unit.routable else self._limited).remove(unit)
+        self.invalidate()
+
+    def invalidate(self) -> None:
+        """Throw away every memoised routing list (membership changed)."""
+        self._by_tag.clear()
+        self._text = None
+
+    def __len__(self) -> int:
+        return len(self._routable) + len(self._limited)
+
+    @property
+    def unit_count(self) -> int:
+        """Distinct machine units currently routed (incl. limited ones)."""
+        return len(self)
+
+    # -- lookups --------------------------------------------------------
+
+    def units_for_tag(self, tag: str) -> list[RoutableUnit]:
+        """Routable units whose machines dispatch on ``tag``.
+
+        Registration order is preserved, so multiplexed emission order is
+        deterministic.  Limited units are *not* included — they take the
+        unfiltered path.
+        """
+        units = self._by_tag.get(tag)
+        if units is not None:
+            return units
+        units = [
+            unit for unit in self._routable
+            if unit.wants_all or tag in unit.interest
+        ]
+        if len(self._by_tag) < self._cache_limit:
+            self._by_tag[tag] = units
+        return units
+
+    def text_units(self) -> list[RoutableUnit]:
+        """Routable units that need ``Characters`` events (value tests)."""
+        if self._text is None:
+            self._text = [unit for unit in self._routable if unit.wants_text]
+        return self._text
+
+    def limited_units(self) -> list[RoutableUnit]:
+        """Units on the unfiltered path (per-query resource limits)."""
+        return self._limited
+
+    def alphabet(self) -> frozenset[str]:
+        """Union of every routable unit's concrete-tag alphabet."""
+        tags: set[str] = set()
+        for unit in self._routable:
+            tags |= unit.interest
+        return frozenset(tags)
+
+    def coverage(self, tags: Iterable[str]) -> dict[str, int]:
+        """How many routable units listen on each of ``tags`` (debugging)."""
+        return {tag: len(self.units_for_tag(tag)) for tag in tags}

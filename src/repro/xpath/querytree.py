@@ -221,6 +221,27 @@ def condition_leaves(condition: Condition):
         yield condition
 
 
+def condition_structure(condition: Condition) -> tuple:
+    """Hashable structural fingerprint of a condition tree.
+
+    :class:`ChildRef` leaves are fingerprinted by the *structure* of the
+    branch subtree they reference, so two independently compiled queries
+    with identical predicates produce identical fingerprints.
+    """
+    if isinstance(condition, AndCond):
+        return ("and", tuple(condition_structure(part) for part in condition.parts))
+    if isinstance(condition, OrCond):
+        return ("or", tuple(condition_structure(part) for part in condition.parts))
+    if isinstance(condition, NotCond):
+        return ("not", condition_structure(condition.part))
+    if isinstance(condition, ChildRef):
+        return ("child", condition.node.structure())
+    if isinstance(condition, AttrRef):
+        return ("attr", condition.test)
+    assert isinstance(condition, ValueRef)
+    return ("value", condition.test)
+
+
 @dataclass(eq=False, slots=True)
 class QueryNode:
     """One node of the query tree.
@@ -265,17 +286,66 @@ class QueryNode:
         """Name test: does this node's label admit ``tag``?"""
         return self.name == "*" or self.name == tag
 
+    # -- structural identity (multi-query dedup) ----------------------
+    #
+    # Two query subtrees are equal when they test the same thing the
+    # same way: node ids (arbitrary compile-time counters) and parent
+    # links (redundant and cyclic) are excluded; child order is kept
+    # because β-indices follow it.  This is what lets the multi-query
+    # engine share one machine among identical standing queries.
+
+    def structure(self) -> tuple:
+        """Hashable structural fingerprint of this subtree."""
+        return (
+            self.name,
+            self.axis,
+            self.is_return,
+            self.on_trunk,
+            tuple(self.attribute_tests),
+            tuple(self.value_tests),
+            None if self.condition is None else condition_structure(self.condition),
+            tuple(child.structure() for child in self.children),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QueryNode):
+            return NotImplemented
+        return self is other or self.structure() == other.structure()
+
+    def __hash__(self) -> int:
+        return hash(self.structure())
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"QueryNode({self.name!r}, id={self.node_id}, axis={self.axis!r})"
 
 
-@dataclass(slots=True)
+@dataclass(eq=False, slots=True)
 class QueryTree:
-    """A compiled query: the tree, its root, and the return node."""
+    """A compiled query: the tree, its root, and the return node.
+
+    Equality and hashing are *structural* (see :meth:`QueryNode.structure`):
+    two independently compiled trees are equal iff they describe the same
+    query, regardless of surface spelling — ``//a[b]//c`` equals
+    ``//a[./b]//c`` but not ``//a[c]//b``.  The ``source`` text does not
+    participate.  ``unparse → parse`` round-trips to an equal tree, which
+    the test suite uses as the equality oracle.
+    """
 
     root: QueryNode
     return_node: QueryNode
     source: str
+
+    def structure(self) -> tuple:
+        """Hashable structural fingerprint of the whole query."""
+        return self.root.structure()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QueryTree):
+            return NotImplemented
+        return self.root.structure() == other.root.structure()
+
+    def __hash__(self) -> int:
+        return hash(self.root.structure())
 
     def iter_nodes(self) -> Iterator[QueryNode]:
         """All query nodes, pre-order."""

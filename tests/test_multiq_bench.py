@@ -1,0 +1,49 @@
+"""The standing-query workload and scaling benchmark (repro.bench.multiq)."""
+
+from __future__ import annotations
+
+from repro.bench.multiq import multiq_workload, run_benchmark, xmark_vocabulary
+from repro.multiq import MultiQueryEngine, canonicalize
+
+
+def test_workload_is_deterministic():
+    assert multiq_workload(50) == multiq_workload(50)
+    assert multiq_workload(50, seed=1) != multiq_workload(50, seed=2)
+
+
+def test_workload_counts_and_names():
+    queries = multiq_workload(137)
+    assert len(queries) == 137
+    assert list(queries)[0] == "q0000"
+
+
+def test_workload_queries_all_compile():
+    for name, query in multiq_workload(200).items():
+        canonicalize(query)  # raises on a malformed spec
+
+
+def test_workload_contains_duplicates_for_dedup():
+    queries = multiq_workload(200)
+    engine = MultiQueryEngine(queries)
+    assert engine.unit_count() < len(queries)
+
+
+def test_vocabulary_is_the_auction_dtd():
+    vocabulary = xmark_vocabulary()
+    assert "item" in vocabulary and "open_auction" in vocabulary
+    assert vocabulary == sorted(vocabulary)
+
+
+def test_run_benchmark_payload_shape():
+    payload = run_benchmark(counts=(5, 10), scale=0.05, repeats=1, baseline_cap=5)
+    assert payload["benchmark"] == "multiq"
+    assert [row["queries"] for row in payload["rows"]] == [5, 10]
+    first, second = payload["rows"]
+    for row in payload["rows"]:
+        assert row["machines"] <= row["queries"]
+        assert row["events"] == payload["event_count"]
+        assert row["events_per_sec"] > 0
+        assert (
+            row["machine_events_broadcast"] == row["events"] * row["queries"]
+        )
+    assert "broadcast_seconds" in first and "broadcast_seconds" not in second

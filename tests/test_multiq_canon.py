@@ -1,0 +1,119 @@
+"""Canonicalization + dedup (repro.multiq.canon, querytree equality).
+
+Structural ``__eq__``/``__hash__`` on compiled query trees is the dedup
+engine's foundation: two spellings of the same query must compare equal
+(and share a machine), different queries must not.  The unparse→parse
+round trip is the equality oracle — a compiled tree must equal the tree
+compiled from its own canonical spelling.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.processor import XPathStream
+from repro.multiq import MultiQueryEngine, canonical_text, canonicalize, dedup_key
+from repro.stream.recovery import ResourceLimits
+from repro.xpath.querytree import compile_query
+from repro.xpath.unparse import unparse_query
+
+#: Queries spanning all fragments: paths, closures, wildcards,
+#: predicates (nested, boolean), attribute and value tests.
+QUERIES = [
+    "/a",
+    "//a",
+    "//a/b",
+    "//a//b",
+    "/a/*/b",
+    "//a//*",
+    "//a[b]",
+    "//a[b][c]//d",
+    "//a[b//c]/d",
+    "//a[@k]",
+    "//a[@k = 'v']/b",
+    "//book[price < 30]//title",
+    "//a[b and not(c)]",
+    "//a[b or @k = 'v']//c",
+]
+
+
+class TestStructuralEquality:
+    def test_same_spelling_equal(self):
+        for query in QUERIES:
+            assert compile_query(query) == compile_query(query), query
+            assert hash(compile_query(query)) == hash(compile_query(query))
+
+    def test_respelled_duplicates_equal(self):
+        assert compile_query("//a[b]//c") == compile_query("//a[./b]//c")
+        assert compile_query("//a[b]") == compile_query("//a[./b]")
+
+    def test_different_queries_not_equal(self):
+        assert compile_query("//a[b]//c") != compile_query("//a[c]//b")
+        assert compile_query("//a/b") != compile_query("//a//b")
+        assert compile_query("/a") != compile_query("//a")
+        assert compile_query("//a[@k]") != compile_query("//a[@j]")
+        assert compile_query("//a[b < 3]") != compile_query("//a[b < 4]")
+
+    def test_source_spelling_excluded_from_equality(self):
+        left, right = compile_query("//a[./b]"), compile_query("//a[b]")
+        assert left.source != right.source
+        assert left == right and hash(left) == hash(right)
+
+    def test_not_equal_to_other_types(self):
+        tree = compile_query("//a")
+        assert tree != "//a"
+        assert tree is not None and tree != 17
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_unparse_parse_round_trip_is_identity(self, query):
+        """The canonical spelling compiles back to an equal tree."""
+        tree = compile_query(query)
+        assert compile_query(unparse_query(tree)) == tree
+
+
+class TestCanon:
+    def test_canonicalize_accepts_string_or_tree(self):
+        tree = compile_query("//a/b")
+        assert canonicalize("//a/b") == tree
+        assert canonicalize(tree) is tree
+
+    def test_canonical_text_normalizes_spelling(self):
+        assert canonical_text("//a[./b]") == canonical_text("//a[b]")
+
+    def test_dedup_key_separates_limits(self):
+        tree = compile_query("//a")
+        assert dedup_key(tree, None) == dedup_key(compile_query("//a"), None)
+        assert dedup_key(tree, None) != dedup_key(tree, ResourceLimits(max_depth=5))
+        assert dedup_key(tree, ResourceLimits(max_depth=5)) == dedup_key(
+            tree, ResourceLimits(max_depth=5)
+        )
+
+
+class TestDedupSharing:
+    XML = "<r><a><b/><c/></a><a><b/></a></r>"
+
+    def test_identical_queries_share_one_machine(self):
+        engine = MultiQueryEngine(
+            {"one": "//a[b]//c", "two": "//a[./b]//c", "three": "//a[b]//c"}
+        )
+        assert len(engine) == 3
+        assert engine.unit_count() == 1
+
+    def test_shared_machine_fans_results_to_every_name(self):
+        engine = MultiQueryEngine({"one": "//a/b", "two": "//a/b"})
+        results = engine.evaluate(self.XML)
+        expected = XPathStream("//a/b").evaluate(self.XML)
+        assert results["one"] == expected
+        assert results["two"] == expected
+
+    def test_different_limits_split_units(self):
+        engine = MultiQueryEngine()
+        engine.add_query("plain", "//a")
+        engine.add_query("capped", "//a", limits=ResourceLimits(max_depth=100))
+        assert engine.unit_count() == 2
+
+    def test_equal_limits_share_units(self):
+        engine = MultiQueryEngine()
+        engine.add_query("one", "//a", limits=ResourceLimits(max_depth=100))
+        engine.add_query("two", "//a", limits=ResourceLimits(max_depth=100))
+        assert engine.unit_count() == 1

@@ -1,10 +1,17 @@
-"""Tests for multi-query evaluation (repro.core.multiquery)."""
+"""Tests for multi-query evaluation (repro.core.multiquery).
+
+The historical broadcast dispatcher is now a deprecated shim over
+:class:`repro.multiq.MultiQueryEngine`; these tests pin its public API
+and callback semantics through the veneer.
+"""
 
 import pytest
 
 from repro.core.multiquery import MultiQueryStream
 from repro.core.processor import XPathStream
 from repro.stream.tokenizer import parse_string
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 
 XML = (
@@ -19,6 +26,11 @@ QUERIES = {
     "recent": "//book[@year = '2006']/title",
     "titles": "//title",
 }
+
+
+def test_construction_warns_deprecated():
+    with pytest.warns(DeprecationWarning, match="MultiQueryEngine"):
+        MultiQueryStream({"t": "//title"})
 
 
 class TestEvaluation:

@@ -1,6 +1,9 @@
 """Property-based tests: multi-query and filtering ≡ individual runs."""
 
+import pytest
 from hypothesis import given, settings, strategies as st
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 from repro.core.filtering import FilterSet
 from repro.core.multiquery import MultiQueryStream

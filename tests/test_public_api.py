@@ -12,6 +12,7 @@ import pytest
 PACKAGES = [
     "repro",
     "repro.core",
+    "repro.multiq",
     "repro.xpath",
     "repro.stream",
     "repro.baselines",
@@ -44,6 +45,7 @@ def test_top_level_readme_imports():
     from repro.core.fragments import evaluate_fragments  # noqa: F401
     from repro.core.multiquery import MultiQueryStream  # noqa: F401
     from repro.core.filtering import FilterSet  # noqa: F401
+    from repro.multiq import MultiQueryEngine  # noqa: F401
     from repro.stream import resolve_namespaces  # noqa: F401
 
 
