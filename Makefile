@@ -3,7 +3,7 @@
 PYTHON ?= python3
 PROFILE ?= small
 
-.PHONY: install test robustness bench multiq figures examples clean
+.PHONY: install test robustness bench multiq perf figures examples clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -21,6 +21,9 @@ bench:
 
 multiq:
 	$(PYTHON) ci/multiq_smoke.py
+
+perf:
+	$(PYTHON) ci/perf_smoke.py
 
 figures:
 	$(PYTHON) -m repro.bench --all --profile $(PROFILE)

@@ -1,0 +1,86 @@
+"""CI smoke: the fused push pipeline must be faster than pull — and exact.
+
+Checks the two acceptance properties of the hot-path work:
+
+1. **Exactness** — the push scanner emits an event stream byte-identical
+   to the pull scanner over the XMark corpus, and every benchmark query
+   returns identical solution ids through both pipelines (also asserted
+   inside the benchmark itself).
+2. **Throughput win** — push beats pull by at least ``MIN_SPEEDUP`` on
+   every XMark query.  The local target is 2x (see ``BENCH_core.json``);
+   the CI gate is 1.5x to leave headroom for noisy shared runners.
+
+It then runs the full benchmark at the default profile and writes
+``BENCH_core.json`` so the perf trajectory is recorded per commit.
+
+Run from the repo root::
+
+    PYTHONPATH=src python ci/perf_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.corpora import benchmark_corpus
+from repro.bench.hotpath import run_benchmark, write_report
+from repro.stream.events import EventCollector
+from repro.stream.tokenizer import XmlTokenizer, iter_text_chunks
+
+MIN_SPEEDUP = 1.5
+GATE_PROFILE = "tiny"
+REPORT = "BENCH_core.json"
+
+
+def scanner_identical(path) -> bool:
+    """Event-level differential: push scan == pull scan over ``path``."""
+    pull_tokenizer = XmlTokenizer()
+    pull_events = []
+    push_tokenizer = XmlTokenizer()
+    collector = EventCollector()
+    for chunk in iter_text_chunks(path):
+        pull_events.extend(pull_tokenizer.feed(chunk))
+        push_tokenizer.feed_into(chunk, collector)
+    pull_events.extend(pull_tokenizer.close())
+    push_tokenizer.close_into(collector)
+    return collector.events == pull_events
+
+
+def main() -> int:
+    corpus = benchmark_corpus(GATE_PROFILE)
+    print(f"perf smoke: scanner differential over {corpus.name} "
+          f"({corpus.size_bytes()} bytes)")
+    if not scanner_identical(corpus.path):
+        print("FAIL: push scanner diverges from pull scanner", file=sys.stderr)
+        return 1
+    print("  push event stream identical to pull")
+
+    # The benchmark asserts pull/push solution-id equality per query.
+    gate = run_benchmark(profile=GATE_PROFILE, repeats=2)
+    failures = 0
+    for key, corpus_report in gate["corpora"].items():
+        for query, row in corpus_report["queries"].items():
+            print(f"  {key}  {query}: {row['speedup']}x "
+                  f"({row['matches']} matches, both pipelines)")
+            if key == "xmark" and row["speedup"] < MIN_SPEEDUP:
+                failures += 1
+                print(
+                    f"FAIL: push is only {row['speedup']}x pull for {query!r} "
+                    f"(gate: {MIN_SPEEDUP}x)",
+                    file=sys.stderr,
+                )
+    if failures:
+        return 1
+
+    payload = run_benchmark()
+    write_report(payload, REPORT)
+    summary = payload["summary"]
+    print(f"  recorded XMark minimum {summary['xmark_min_push_vs_pull']}x "
+          f"(local target {summary['xmark_target']}x)")
+    print(f"wrote {REPORT}")
+    print("perf smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

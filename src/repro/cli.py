@@ -85,6 +85,19 @@ def main(argv: list[str] | None = None) -> int:
         from repro.multiq.cli import main as multiq_main
 
         return multiq_main(argv[1:])
+    if argv and argv[0] == "profile":
+        # ``python -m repro profile QUERY FILE`` — cProfile one
+        # evaluation through either pipeline (repro.perf.profiling).
+        from repro.perf.profiling import main as profile_main
+
+        try:
+            return profile_main(argv[1:])
+        except ReproError as exc:
+            print(f"twigm: {exc}", file=sys.stderr)
+            return 2
+        except OSError as exc:
+            print(f"twigm: {exc}", file=sys.stderr)
+            return 2
     parser = build_parser()
     args = parser.parse_args(argv)
     engine = None if args.engine == "auto" else args.engine

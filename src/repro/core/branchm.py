@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.core.machine import Machine, MachineNode, build_machine
+from repro.core.push import LimitCountingHandler
 from repro.core.results import CollectingSink, ResultSink
 from repro.errors import CheckpointError, UnsupportedQueryError
 from repro.stream.events import Characters, EndElement, Event, StartElement
@@ -91,6 +92,24 @@ class BranchM:
             id(node): _Slot() for node in self.machine.iter_nodes()
         }
         self._value_slots = [self._slots[id(node)] for node in self.machine.value_nodes]
+        # Occupied slots holding a text buffer; characters() is a no-op
+        # while this is zero (always, for value-free queries).
+        self._open_value_slots = 0
+        # Compiled dispatch: per-tag (node, slot, parent_slot) records.
+        self._plans: dict[str, list] = {
+            tag: self._compile_plan(nodes)
+            for tag, nodes in self.machine.dispatch.items()
+        }
+
+    def _compile_plan(self, nodes) -> list:
+        return [
+            (
+                node,
+                self._slots[id(node)],
+                self._slots[id(node.parent)] if node.parent is not None else None,
+            )
+            for node in nodes
+        ]
 
     @property
     def results(self) -> list[int]:
@@ -109,6 +128,7 @@ class BranchM:
             slot.reset()
         self._candidate_count = 0
         self._event_count = 0
+        self._open_value_slots = 0
 
     # -- checkpointing -----------------------------------------------------
 
@@ -147,6 +167,9 @@ class BranchM:
             slot.text_parts = list(text_parts) if text_parts is not None else None
         self._candidate_count = state.get("candidate_count", 0)
         self._event_count = state.get("event_count", 0)
+        self._open_value_slots = sum(
+            1 for slot in self._value_slots if slot.text_parts is not None
+        )
 
     # -- transitions -------------------------------------------------------
 
@@ -156,40 +179,52 @@ class BranchM:
             self._limits.check("max_buffered_candidates", self._candidate_count)
 
     def start_element(self, tag: str, level: int, node_id: int, attributes=None) -> None:
-        if attributes is None:
-            attributes = {}
         if self._limits is not None:
             self._limits.check("max_depth", level)
-        for node in self.machine.nodes_for_tag(tag):
-            if node.parent is None:
+        plan = self._plans.get(tag)
+        if plan is None:
+            return
+        if attributes is None:
+            attributes = {}
+        for node, slot, parent_slot in plan:
+            if parent_slot is None:
                 if level != node.edge_dist:
                     continue
-            else:
-                parent_slot = self._slots[id(node.parent)]
-                if parent_slot.level != level - node.edge_dist:
-                    continue
+            elif parent_slot.level != level - node.edge_dist:
+                continue
             if node.attribute_tests and not node.attributes_satisfied(attributes):
                 continue
-            slot = self._slots[id(node)]
             if slot.candidates:
                 self._candidate_count -= len(slot.candidates)
             slot.level = level
             slot.flags = 0
             slot.candidates = None
-            slot.text_parts = [] if node.value_tests else None
+            if node.value_tests:
+                if slot.text_parts is None:
+                    self._open_value_slots += 1
+                slot.text_parts = []
             if node.is_return:
                 slot.candidates = {node_id}
                 self._count_candidates(1)
 
-    def characters(self, text: str) -> None:
-        """Accumulate string-value data for value-tested nodes."""
+    def characters(self, text: str, level: int | None = None) -> None:
+        """Accumulate string-value data for value-tested nodes.
+
+        A no-op while no value-tested slot is occupied (always, for
+        value-free queries).  ``level`` is accepted for
+        :class:`~repro.stream.events.EventHandler` parity and unused.
+        """
+        if not self._open_value_slots:
+            return
         for slot in self._value_slots:
             if slot.level != -1 and slot.text_parts is not None:
                 slot.text_parts.append(text)
 
     def end_element(self, tag: str, level: int) -> None:
-        for node in self.machine.nodes_for_tag(tag):
-            slot = self._slots[id(node)]
+        plan = self._plans.get(tag)
+        if plan is None:
+            return
+        for node, slot, parent_slot in plan:
             if slot.level != level:
                 continue
             satisfied = slot.flags == node.complete_mask
@@ -197,11 +232,10 @@ class BranchM:
                 text = "".join(slot.text_parts or ())
                 satisfied = all(test.evaluate(text) for test in node.value_tests)
             if satisfied:
-                if node.parent is None:
+                if parent_slot is None:
                     if slot.candidates:
                         self.sink.emit_all(sorted(slot.candidates))
                 else:
-                    parent_slot = self._slots[id(node.parent)]
                     # With child-only axes the parent slot necessarily
                     # holds this node's parent element.
                     parent_slot.flags |= 1 << node.child_index
@@ -215,9 +249,18 @@ class BranchM:
                             self._count_candidates(len(parent_slot.candidates) - before)
             if slot.candidates:
                 self._candidate_count -= len(slot.candidates)
+            if slot.text_parts is not None:
+                self._open_value_slots -= 1
             slot.reset()
 
     # -- event-stream driving ------------------------------------------------
+
+    def as_handler(self):
+        """Push-pipeline adapter (:mod:`repro.core.push`): the engine
+        itself, or a limit-counting wrapper when limits are set."""
+        if self._limits is None:
+            return self
+        return LimitCountingHandler(self)
 
     def feed(self, events: Iterable[Event]) -> None:
         """Process a batch of modified-SAX events."""

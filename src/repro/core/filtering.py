@@ -26,8 +26,8 @@ from typing import Callable, Iterable, Mapping
 
 from repro.core.processor import XPathStream
 from repro.errors import UnsupportedQueryError
-from repro.stream.events import EndElement, Event, StartElement
-from repro.stream.tokenizer import XmlTokenizer, events_from
+from repro.stream.events import EndElement, Event, EventHandler, StartElement
+from repro.stream.tokenizer import XmlTokenizer, events_from, iter_text_chunks
 from repro.xpath.querytree import DESCENDANT_EDGE, QueryTree, compile_query
 
 
@@ -185,6 +185,7 @@ class FilterSet:
             [self._paths._initial] if self._paths is not None else []
         )
         self._tokenizer: XmlTokenizer | None = None
+        self._handler: "_FilterHandler | None" = None
 
     def _bind(self, name: str) -> Callable[[int], None]:
         def forward(node_id: int) -> None:
@@ -235,6 +236,28 @@ class FilterSet:
             self._tokenizer = XmlTokenizer()
         self.feed_events(self._tokenizer.feed(chunk))
 
+    def as_handler(self) -> "_FilterHandler":
+        """Push-pipeline adapter: one handler fanning out to the shared
+        DFA and every dedicated machine.  Cached across calls."""
+        if self._handler is None:
+            self._handler = _FilterHandler(self)
+        return self._handler
+
+    def feed_text_push(self, chunk: str) -> None:
+        """Fused-pipeline :meth:`feed_text`; may be mixed with it."""
+        if self._tokenizer is None:
+            self._tokenizer = XmlTokenizer()
+        self._tokenizer.feed_into(chunk, self.as_handler())
+
+    def evaluate_push(self, source) -> dict[str, list[int]]:
+        """One push-pipeline pass over a text-bearing ``source``."""
+        handler = self.as_handler()
+        tokenizer = XmlTokenizer()
+        for chunk in iter_text_chunks(source):
+            tokenizer.feed_into(chunk, handler)
+        tokenizer.close_into(handler)
+        return self.results()
+
     def close(self) -> dict[str, list[int]]:
         if self._tokenizer is not None:
             self._tokenizer.close()
@@ -248,3 +271,42 @@ class FilterSet:
 
     def results(self) -> dict[str, list[int]]:
         return self._results
+
+
+class _FilterHandler(EventHandler):
+    """Push-mode fan-out for :class:`FilterSet`.
+
+    Drives the shared DFA and each dedicated machine's transition
+    callbacks directly; equivalent to :meth:`FilterSet.feed_events` one
+    event at a time, without building the events.
+    """
+
+    __slots__ = ("_set", "_engines")
+
+    def __init__(self, filter_set: FilterSet):
+        self._set = filter_set
+        self._engines = [
+            stream.engine.as_handler() for stream in filter_set._machines.values()
+        ]
+
+    def start_element(self, tag, level, node_id, attributes) -> None:
+        filters = self._set
+        paths = filters._paths
+        if paths is not None:
+            state = paths._step(filters._path_stack[-1], tag)
+            filters._path_stack.append(state)
+            for name in paths._accepts[state]:
+                filters._emit(name, node_id)
+        for engine in self._engines:
+            engine.start_element(tag, level, node_id, attributes)
+
+    def characters(self, text, level) -> None:
+        for engine in self._engines:
+            engine.characters(text, level)
+
+    def end_element(self, tag, level) -> None:
+        filters = self._set
+        if filters._paths is not None:
+            filters._path_stack.pop()
+        for engine in self._engines:
+            engine.end_element(tag, level)

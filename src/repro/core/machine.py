@@ -21,6 +21,7 @@ The classes here are the *static* machine description; runtime state
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from sys import intern as _intern
 from typing import Iterator
 
 from repro.xpath.querytree import (
@@ -255,6 +256,9 @@ def build_machine(query: QueryTree) -> Machine:
         if node.label == "*":
             wildcards.append(node)
         else:
+            # Interned keys: the tokenizer interns document tags, so the
+            # per-event dispatch lookup compares pointers, not characters.
+            node.label = _intern(node.label)
             by_label.setdefault(node.label, []).append(node)
         if node.value_tests or (
             node.compiled_condition is not None

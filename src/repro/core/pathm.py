@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.core.machine import EDGE_EQ, Machine, MachineNode, build_machine
+from repro.core.push import LimitCountingHandler
 from repro.core.results import CollectingSink, ResultSink
 from repro.errors import CheckpointError, UnsupportedQueryError
 from repro.stream.events import EndElement, Event, StartElement
@@ -63,7 +64,24 @@ class PathM:
         self._stacks: dict[int, list[int]] = {
             id(node): [] for node in self.machine.iter_nodes()
         }
+        # Compiled dispatch: per-tag (node, stack, parent_stack) records
+        # resolved once so the per-event loops skip id()-keyed lookups.
+        self._plans: dict[str, list] = {
+            tag: self._compile_plan(nodes)
+            for tag, nodes in self.machine.dispatch.items()
+        }
+        self._wild_plan = self._compile_plan(self.machine.wildcards)
         self._return = self.machine.return_node
+
+    def _compile_plan(self, nodes) -> list:
+        return [
+            (
+                node,
+                self._stacks[id(node)],
+                self._stacks[id(node.parent)] if node.parent is not None else None,
+            )
+            for node in nodes
+        ]
 
     @property
     def results(self) -> list[int]:
@@ -113,22 +131,34 @@ class PathM:
         """Push qualifying nodes; output immediately on the return node."""
         if self._limits is not None:
             self._limits.check("max_depth", level)
-        for node in self.machine.nodes_for_tag(tag):
-            if node.parent is None:
+        plan = self._plans.get(tag)
+        if plan is None:
+            plan = self._wild_plan
+            if not plan:
+                return
+        for node, stack, parent_stack in plan:
+            if parent_stack is None:
                 if not node.edge_satisfied(level):
                     continue
-            else:
-                parent_stack = self._stacks[id(node.parent)]
-                if not self._edge_exists(node, parent_stack, level):
-                    continue
-            self._stacks[id(node)].append(level)
+            elif not self._edge_exists(node, parent_stack, level):
+                continue
+            stack.append(level)
             if node.is_return:
                 self.sink.emit(node_id)
 
+    def characters(self, text: str, level: int | None = None) -> None:
+        """No-op: character data carries no information for path queries.
+
+        Present so the engine natively satisfies the
+        :class:`~repro.stream.events.EventHandler` protocol.
+        """
+
     def end_element(self, tag: str, level: int) -> None:
         """Pop entries whose element just closed, keeping stacks active-only."""
-        for node in self.machine.nodes_for_tag(tag):
-            stack = self._stacks[id(node)]
+        plan = self._plans.get(tag)
+        if plan is None:
+            plan = self._wild_plan
+        for node, stack, parent_stack in plan:
             if stack and stack[-1] == level:
                 stack.pop()
 
@@ -149,6 +179,13 @@ class PathM:
         return parent_stack[0] <= level - node.edge_dist
 
     # -- event-stream driving ----------------------------------------------
+
+    def as_handler(self):
+        """Push-pipeline adapter (:mod:`repro.core.push`): the engine
+        itself, or a limit-counting wrapper when limits are set."""
+        if self._limits is None:
+            return self
+        return LimitCountingHandler(self)
 
     def feed(self, events: Iterable[Event]) -> None:
         """Process a batch of modified-SAX events."""

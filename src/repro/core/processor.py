@@ -47,7 +47,7 @@ from repro.core.twigm import TwigM
 from repro.errors import CheckpointError
 from repro.stream.events import Event
 from repro.stream.recovery import RecoveryPolicy, ResourceLimits, StreamDiagnostic
-from repro.stream.tokenizer import XmlTokenizer, events_from
+from repro.stream.tokenizer import XmlTokenizer, events_from, iter_text_chunks
 from repro.xpath.querytree import QueryTree, compile_query
 
 #: The engine classes by fragment, in dispatch order.
@@ -131,6 +131,7 @@ class XPathStream:
         self.engine = engine_class(query, sink=sink, limits=limits)
         self._sink = sink
         self._tokenizer: XmlTokenizer | None = None
+        self._push_handler = None
 
     @property
     def engine_name(self) -> str:
@@ -171,7 +172,43 @@ class XPathStream:
             return self._sink.results
         return []
 
+    def evaluate_push(self, source) -> list[int]:
+        """Evaluate through the fused push pipeline; return solution ids.
+
+        Equivalent to :meth:`evaluate` — same matches, same order, same
+        errors, diagnostics and limit enforcement — but the tokenizer
+        drives the machine's transition callbacks directly
+        (:meth:`~repro.stream.tokenizer.XmlTokenizer.feed_into`), with no
+        event objects or generator hops on the hot path.  ``source`` may
+        be XML text, a path, a file object, or an iterable of text chunks
+        (pre-built event streams have no text to scan; use
+        :meth:`evaluate`).
+        """
+        handler = self.push_handler()
+        tokenizer = XmlTokenizer(
+            policy=self._policy,
+            on_diagnostic=self._on_diagnostic,
+            limits=self._limits,
+        )
+        for chunk in iter_text_chunks(source):
+            tokenizer.feed_into(chunk, handler)
+        tokenizer.close_into(handler)
+        if isinstance(self._sink, CollectingSink):
+            return self._sink.results
+        return []
+
     # -- push-style ---------------------------------------------------------
+
+    def push_handler(self):
+        """The engine as an :class:`~repro.stream.events.EventHandler`.
+
+        Feed it from :meth:`XmlTokenizer.feed_into`, or call the
+        callbacks from any parser.  Cached: repeated calls return the
+        same handler.
+        """
+        if self._push_handler is None:
+            self._push_handler = self.engine.as_handler()
+        return self._push_handler
 
     def feed_events(self, events: Iterable[Event]) -> None:
         """Push pre-parsed modified-SAX events through the engine."""
@@ -186,6 +223,21 @@ class XPathStream:
                 limits=self._limits,
             )
         self.engine.feed(self._tokenizer.feed(chunk))
+
+    def feed_text_push(self, chunk: str) -> None:
+        """Push-pipeline :meth:`feed_text`: fused scan → callbacks.
+
+        Shares the incremental tokenizer with :meth:`feed_text` (the two
+        may be mixed chunk-by-chunk) and is captured by :meth:`snapshot`
+        mid-document exactly the same way.
+        """
+        if self._tokenizer is None:
+            self._tokenizer = XmlTokenizer(
+                policy=self._policy,
+                on_diagnostic=self._on_diagnostic,
+                limits=self._limits,
+            )
+        self._tokenizer.feed_into(chunk, self.push_handler())
 
     def close(self) -> list[int]:
         """Finish an incremental text feed; return collected ids (if any).
@@ -280,3 +332,12 @@ def evaluate(query: "str | QueryTree", source) -> list[int]:
     confirmation order.
     """
     return XPathStream(query).evaluate(source)
+
+
+def evaluate_push(query: "str | QueryTree", source) -> list[int]:
+    """One-shot convenience over the fused push pipeline.
+
+    Same results as :func:`evaluate`; ``source`` must be text-bearing
+    (XML text, a path, a file object, or text chunks).
+    """
+    return XPathStream(query).evaluate_push(source)

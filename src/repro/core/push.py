@@ -1,0 +1,54 @@
+"""Push-mode adapters for the machine layer.
+
+The engines (:class:`~repro.core.twigm.TwigM`,
+:class:`~repro.core.pathm.PathM`, :class:`~repro.core.branchm.BranchM`)
+implement the :class:`~repro.stream.events.EventHandler` protocol
+natively — their transition methods *are* the callbacks — so
+``engine.as_handler()`` usually returns the engine itself and the fused
+pipeline (:meth:`~repro.stream.tokenizer.XmlTokenizer.feed_into`) drives
+δs/δe with zero indirection.
+
+The one thing the engines' pull driver (``feed``) does *around* the
+transitions is per-event accounting against
+:class:`~repro.stream.recovery.ResourceLimits` (``max_total_events``).
+When an engine carries limits, :class:`LimitCountingHandler` restores
+exactly that accounting in push mode, so limit enforcement is
+bit-identical between the two pipelines.
+"""
+
+from __future__ import annotations
+
+from repro.stream.events import EventHandler
+
+
+class LimitCountingHandler(EventHandler):
+    """Wrap an engine to count events against its resource limits.
+
+    Mirrors the accounting in the engines' ``feed``: the event is counted
+    (and ``max_total_events`` checked) *before* the transition runs, for
+    every event kind — including ``Characters`` the engine then skips.
+    """
+
+    __slots__ = ("_engine", "_limits")
+
+    def __init__(self, engine) -> None:
+        self._engine = engine
+        self._limits = engine._limits
+
+    def start_element(self, tag, level, node_id, attributes) -> None:
+        engine = self._engine
+        engine._event_count += 1
+        self._limits.check("max_total_events", engine._event_count)
+        engine.start_element(tag, level, node_id, attributes)
+
+    def characters(self, text, level) -> None:
+        engine = self._engine
+        engine._event_count += 1
+        self._limits.check("max_total_events", engine._event_count)
+        engine.characters(text, level)
+
+    def end_element(self, tag, level) -> None:
+        engine = self._engine
+        engine._event_count += 1
+        self._limits.check("max_total_events", engine._event_count)
+        engine.end_element(tag, level)

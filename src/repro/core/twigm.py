@@ -33,6 +33,7 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.core.machine import EDGE_EQ, Machine, MachineNode, build_machine
+from repro.core.push import LimitCountingHandler
 from repro.core.results import CollectingSink, ResultSink
 from repro.errors import CheckpointError, UnsupportedQueryError
 from repro.stream.events import Characters, EndElement, Event, StartElement
@@ -161,6 +162,18 @@ class TwigM:
         for node in self.machine.iter_nodes():
             self._stacks[id(node)] = []
         self._value_stacks = [self._stacks[id(node)] for node in self.machine.value_nodes]
+        # Open entries holding a text buffer; characters() is a no-op
+        # while this is zero (the common case for value-free queries).
+        self._open_value_entries = 0
+        # Compiled dispatch: per-tag records (node, stack, parent_stack)
+        # resolved once, so the per-event loops do no id()-keyed dict
+        # lookups.  Keys are interned (machine construction interns
+        # labels; the tokenizer interns document tags).
+        self._plans: dict[str, list] = {
+            tag: self._compile_plan(nodes)
+            for tag, nodes in self.machine.dispatch.items()
+        }
+        self._wild_plan = self._compile_plan(self.machine.wildcards)
         self._root = self.machine.root
         self._return = self.machine.return_node
         # Eager emission defaults to the machine's soundness analysis;
@@ -176,6 +189,17 @@ class TwigM:
             )
         else:
             self._eager = eager
+
+    def _compile_plan(self, nodes) -> list:
+        """Bind dispatch nodes to their runtime stacks, once."""
+        return [
+            (
+                node,
+                self._stacks[id(node)],
+                self._stacks[id(node.parent)] if node.parent is not None else None,
+            )
+            for node in nodes
+        ]
 
     # -- introspection --------------------------------------------------
 
@@ -204,6 +228,7 @@ class TwigM:
             stack.clear()
         self._candidate_count = 0
         self._event_count = 0
+        self._open_value_entries = 0
 
     # -- checkpointing ---------------------------------------------------
 
@@ -254,16 +279,29 @@ class TwigM:
                 stack.append(entry)
         self._candidate_count = state.get("candidate_count", 0)
         self._event_count = state.get("event_count", 0)
+        self._open_value_entries = sum(
+            1
+            for stack in self._value_stacks
+            for entry in stack
+            if entry.text_parts is not None
+        )
 
     # -- transition functions --------------------------------------------
 
     def start_element(self, tag: str, level: int, node_id: int, attributes=None) -> None:
         """δs of Algorithm 1."""
+        if self._limits is not None:
+            # The depth probe runs for every start tag, interested or
+            # not, so limit enforcement is independent of the query.
+            self._limits.check("max_depth", level)
+        plan = self._plans.get(tag)
+        if plan is None:
+            plan = self._wild_plan
+            if not plan:
+                return
         if attributes is None:
             attributes = {}
-        if self._limits is not None:
-            self._limits.check("max_depth", level)
-        for node in self.machine.nodes_for_tag(tag):
+        for node, stack, parent_stack in plan:
             condition = node.compiled_condition
             if condition is None:
                 if node.attribute_tests and not node.attributes_satisfied(attributes):
@@ -275,14 +313,15 @@ class TwigM:
                 # Generalised prune: with the attribute leaves bound, no
                 # branch/value outcome can satisfy the condition.
                 continue
-            if node.parent is None:
+            if parent_stack is None:
                 if not node.edge_satisfied(level):
                     continue
-            elif not self._parent_edge_exists(node, level):
+            elif not self._parent_edge_exists(node, parent_stack, level):
                 continue
             entry = StackEntry(level)
             if node.value_tests or (condition is not None and condition.has_value_leaves):
                 entry.text_parts = []
+                self._open_value_entries += 1
             if condition is not None:
                 entry.attr_bits = condition.attr_bits(attributes)
             if node.is_return:
@@ -290,7 +329,7 @@ class TwigM:
                 self._count_candidates(1)
                 if self._tracker is not None:
                     self._tracker.created(node_id)
-            self._stacks[id(node)].append(entry)
+            stack.append(entry)
 
     def _count_candidates(self, added: int) -> None:
         """Track buffered candidate ids; enforce the configured bound."""
@@ -298,9 +337,9 @@ class TwigM:
         if added > 0 and self._limits is not None:
             self._limits.check("max_buffered_candidates", self._candidate_count)
 
-    def _parent_edge_exists(self, node: MachineNode, level: int) -> bool:
+    @staticmethod
+    def _parent_edge_exists(node: MachineNode, parent_stack: list[StackEntry], level: int) -> bool:
         """∃ e ∈ ξ(ρ(v)) with ζ(v)[1](l − e.level, ζ(v)[2]) — Algorithm 1, δs."""
-        parent_stack = self._stacks[id(node.parent)]
         if not parent_stack:
             return False
         if node.edge_op == EDGE_EQ:
@@ -315,12 +354,17 @@ class TwigM:
         # '>=': the bottom-most (smallest-level) entry decides existence.
         return parent_stack[0].level <= level - node.edge_dist
 
-    def characters(self, text: str) -> None:
+    def characters(self, text: str, level: int | None = None) -> None:
         """Accumulate string-value data for value-tested machine nodes.
 
         Every open entry of a value-tested node is an ancestor-or-self of
         the text, so the run belongs to each entry's string-value.
+        With no such entry open — always, for queries without value
+        tests — the call returns immediately.  ``level`` is accepted for
+        :class:`~repro.stream.events.EventHandler` parity and unused.
         """
+        if not self._open_value_entries:
+            return
         for stack in self._value_stacks:
             for entry in stack:
                 entry.text_parts.append(text)  # type: ignore[union-attr]
@@ -328,11 +372,17 @@ class TwigM:
     def end_element(self, tag: str, level: int) -> None:
         """δe of Algorithm 1."""
         tracker = self._tracker
-        for node in self.machine.nodes_for_tag(tag):
-            stack = self._stacks[id(node)]
+        plan = self._plans.get(tag)
+        if plan is None:
+            plan = self._wild_plan
+            if not plan:
+                return
+        for node, stack, parent_stack in plan:
             if not stack or stack[-1].level != level:
                 continue
             entry = stack.pop()
+            if entry.text_parts is not None:
+                self._open_value_entries -= 1
             if entry.candidates:
                 # The popped entry's buffered ids are released; uploads
                 # below re-count any copies that survive in parents.
@@ -373,13 +423,18 @@ class TwigM:
                         tracker.emitted(entry.candidates)
                         tracker.released(entry.candidates)
                 continue
-            self._propagate(node, entry, level)
+            self._propagate(node, entry, level, parent_stack)
             if tracker is not None and entry.candidates:
                 tracker.released(entry.candidates)
 
-    def _propagate(self, node: MachineNode, entry: StackEntry, level: int) -> None:
+    def _propagate(
+        self,
+        node: MachineNode,
+        entry: StackEntry,
+        level: int,
+        parent_stack: list[StackEntry],
+    ) -> None:
         """Set β(node) and upload candidates on every qualifying parent entry."""
-        parent_stack = self._stacks[id(node.parent)]
         bit = 1 << node.child_index
         if node.edge_op == EDGE_EQ:
             target = level - node.edge_dist
@@ -416,6 +471,19 @@ class TwigM:
             self._tracker.retained(node_id)
 
     # -- event-stream driving ---------------------------------------------
+
+    def as_handler(self):
+        """Push-pipeline adapter (:mod:`repro.core.push`).
+
+        Without resource limits the engine itself is the handler — its
+        transition methods *are* the callbacks, so
+        :meth:`~repro.stream.tokenizer.XmlTokenizer.feed_into` drives
+        δs/δe with zero indirection.  With limits, a counting wrapper
+        preserves the pull driver's per-event accounting.
+        """
+        if self._limits is None:
+            return self
+        return LimitCountingHandler(self)
 
     def feed(self, events: Iterable[Event]) -> None:
         """Process a batch of modified-SAX events."""

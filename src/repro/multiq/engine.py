@@ -45,9 +45,9 @@ from repro.errors import CheckpointError
 from repro.multiq.canon import canonical_text
 from repro.multiq.registry import EvalUnit, QueryRegistry, Registration
 from repro.multiq.router import AlphabetRouter
-from repro.stream.events import Characters, EndElement, Event, StartElement
+from repro.stream.events import Characters, EndElement, Event, EventHandler, StartElement
 from repro.stream.recovery import RecoveryPolicy, ResourceLimits, StreamDiagnostic
-from repro.stream.tokenizer import XmlTokenizer, events_from
+from repro.stream.tokenizer import XmlTokenizer, events_from, iter_text_chunks
 from repro.xpath.querytree import QueryTree
 
 #: Version of the dispatcher snapshot schema.
@@ -130,6 +130,7 @@ class MultiQueryEngine:
         self._on_diagnostic = on_diagnostic
         self._limits = limits
         self._tokenizer: XmlTokenizer | None = None
+        self._handler: "_MultiQueryHandler | None" = None
         self._virgin_units: set[EvalUnit] = set()
         self._events = 0
         self._dispatched = 0
@@ -283,6 +284,44 @@ class MultiQueryEngine:
                 limits=self._limits,
             )
         self.feed_events(self._tokenizer.feed(chunk))
+
+    def as_handler(self) -> "_MultiQueryHandler":
+        """Push-pipeline adapter: router dispatch as direct callbacks.
+
+        Equivalent to :meth:`feed_events` one event at a time — same
+        routing, counters, virgin-unit retirement, and per-unit limit
+        accounting — without building the events.  Cached across calls.
+        """
+        if self._handler is None:
+            self._handler = _MultiQueryHandler(self)
+        return self._handler
+
+    def feed_text_push(self, chunk: str) -> None:
+        """Fused-pipeline :meth:`feed_text`; shares the tokenizer with it."""
+        if self._tokenizer is None:
+            self._tokenizer = XmlTokenizer(
+                policy=self._policy,
+                on_diagnostic=self._on_diagnostic,
+                limits=self._limits,
+            )
+        self._tokenizer.feed_into(chunk, self.as_handler())
+
+    def evaluate_push(self, source) -> dict[str, list[int]]:
+        """One-shot :meth:`evaluate` over the fused push pipeline.
+
+        ``source`` must be text-bearing (XML text, a path, a file object,
+        or text chunks); results are identical to :meth:`evaluate`.
+        """
+        handler = self.as_handler()
+        tokenizer = XmlTokenizer(
+            policy=self._policy,
+            on_diagnostic=self._on_diagnostic,
+            limits=self._limits,
+        )
+        for chunk in iter_text_chunks(source):
+            tokenizer.feed_into(chunk, handler)
+        tokenizer.close_into(handler)
+        return self.results()
 
     def close(self) -> dict[str, list[int]]:
         """Finish an incremental feed; return collected results.
@@ -496,3 +535,83 @@ class MultiQueryEngine:
             on_match(_name, node_id)
 
         return CallbackSink(forward)
+
+
+class _MultiQueryHandler(EventHandler):
+    """Push-mode router dispatch for :class:`MultiQueryEngine`.
+
+    Mirrors :meth:`MultiQueryEngine.feed_events` step for step: the
+    dispatch counters, the virgin-unit retirement, and the unfiltered
+    delivery to limited units (through each unit's own counting handler,
+    so per-query ``max_total_events`` accounting matches a dedicated
+    stream) are all identical — only the event objects are gone.
+    """
+
+    __slots__ = ("_engine", "_limited", "_limited_version")
+
+    def __init__(self, engine: MultiQueryEngine):
+        self._engine = engine
+        self._limited: list = []
+        self._limited_version = -1
+
+    def _limited_handlers(self) -> list:
+        """Per-unit handlers for the unfiltered path, rebuilt on
+        registration changes (keyed on the router's version counter)."""
+        router = self._engine._router
+        if self._limited_version != router.version:
+            self._limited = [
+                unit.engine.as_handler() for unit in router.limited_units()
+            ]
+            self._limited_version = router.version
+        return self._limited
+
+    def start_element(self, tag, level, node_id, attributes) -> None:
+        engine = self._engine
+        engine._events += 1
+        engine._broadcast += len(engine._registry)
+        router = engine._router
+        units = router.units_for_tag(tag)
+        for unit in units:
+            unit.engine.start_element(tag, level, node_id, attributes)
+        engine._dispatched += len(units)
+        limited = self._limited_handlers()
+        if limited:
+            for handler in limited:
+                handler.start_element(tag, level, node_id, attributes)
+            engine._dispatched += len(limited)
+        if engine._virgin_units:
+            engine._touch(units, router.limited_units())
+
+    def characters(self, text, level) -> None:
+        engine = self._engine
+        engine._events += 1
+        engine._broadcast += len(engine._registry)
+        router = engine._router
+        units = router.text_units()
+        for unit in units:
+            unit.engine.characters(text, level)
+        engine._dispatched += len(units)
+        limited = self._limited_handlers()
+        if limited:
+            for handler in limited:
+                handler.characters(text, level)
+            engine._dispatched += len(limited)
+        if engine._virgin_units:
+            engine._touch(units, router.limited_units())
+
+    def end_element(self, tag, level) -> None:
+        engine = self._engine
+        engine._events += 1
+        engine._broadcast += len(engine._registry)
+        router = engine._router
+        units = router.units_for_tag(tag)
+        for unit in units:
+            unit.engine.end_element(tag, level)
+        engine._dispatched += len(units)
+        limited = self._limited_handlers()
+        if limited:
+            for handler in limited:
+                handler.end_element(tag, level)
+            engine._dispatched += len(limited)
+        if engine._virgin_units:
+            engine._touch(units, router.limited_units())

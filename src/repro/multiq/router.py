@@ -91,6 +91,9 @@ class AlphabetRouter:
         self._cache_limit = cache_limit
         self._by_tag: dict[str, list[RoutableUnit]] = {}
         self._text: list[RoutableUnit] | None = None
+        #: Bumped on every membership change; consumers caching derived
+        #: per-unit state (the push handler's adapters) key on it.
+        self.version = 0
 
     # -- membership -----------------------------------------------------
 
@@ -108,6 +111,7 @@ class AlphabetRouter:
         """Throw away every memoised routing list (membership changed)."""
         self._by_tag.clear()
         self._text = None
+        self.version += 1
 
     def __len__(self) -> int:
         return len(self._routable) + len(self._limited)

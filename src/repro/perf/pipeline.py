@@ -1,0 +1,87 @@
+""":class:`PushPipeline` — one query bound to the fused fast path.
+
+A thin, reusable binding over :class:`~repro.core.processor.XPathStream`
+for workloads that evaluate the same query over many documents (the
+benchmark harness, long-running feed consumers): the query is compiled
+and the machine's per-tag dispatch plans are built once, then each
+:meth:`PushPipeline.run` resets the machine and streams one document
+through :meth:`~repro.stream.tokenizer.XmlTokenizer.feed_into`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.processor import XPathStream
+from repro.stream.recovery import RecoveryPolicy, ResourceLimits, StreamDiagnostic
+from repro.stream.tokenizer import DEFAULT_CHUNK_SIZE, XmlTokenizer, iter_text_chunks
+from repro.xpath.querytree import QueryTree
+
+
+class PushPipeline:
+    """One query, compiled once, evaluated push-mode per document.
+
+    Parameters mirror :class:`~repro.core.processor.XPathStream`; the
+    extra ``chunk_size`` sets how much text each scanner call sees when
+    the source is a file (bigger chunks amortise the regex scan's
+    per-call overhead; the default matches the tokenizer's).
+
+    Example::
+
+        pipeline = PushPipeline("//book[price < 30]//title")
+        for path in documents:
+            ids = pipeline.run(path)
+    """
+
+    def __init__(
+        self,
+        query: "str | QueryTree",
+        on_match: Callable[[int], None] | None = None,
+        engine: str | None = None,
+        *,
+        policy: "str | RecoveryPolicy" = RecoveryPolicy.STRICT,
+        on_diagnostic: Callable[[StreamDiagnostic], None] | None = None,
+        limits: ResourceLimits | None = None,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ):
+        self.stream = XPathStream(
+            query,
+            on_match=on_match,
+            engine=engine,
+            policy=policy,
+            on_diagnostic=on_diagnostic,
+            limits=limits,
+        )
+        self._policy = RecoveryPolicy.coerce(policy)
+        self._on_diagnostic = on_diagnostic
+        self._limits = limits
+        self.chunk_size = chunk_size
+
+    @property
+    def engine_name(self) -> str:
+        """Which machine evaluates this query: pathm, branchm or twigm."""
+        return self.stream.engine_name
+
+    def run(self, source) -> list[int]:
+        """Evaluate one document; return its solution ids.
+
+        The machine is reset first, so runs are independent.  ``source``
+        is anything text-bearing (XML text, a path, a file object, text
+        chunks); pre-built event streams have no text to scan — use
+        :meth:`XPathStream.evaluate` for those.
+        """
+        stream = self.stream
+        stream.reset()
+        handler = stream.push_handler()
+        tokenizer = XmlTokenizer(
+            policy=self._policy,
+            on_diagnostic=self._on_diagnostic,
+            limits=self._limits,
+        )
+        for chunk in iter_text_chunks(source, self.chunk_size):
+            tokenizer.feed_into(chunk, handler)
+        tokenizer.close_into(handler)
+        try:
+            return list(stream.results)
+        except AttributeError:  # on_match mode: delivered incrementally
+            return []

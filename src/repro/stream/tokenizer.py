@@ -45,6 +45,8 @@ from __future__ import annotations
 
 import io
 import os
+import re
+from sys import intern as _intern
 from typing import IO, Callable, Iterable, Iterator, NoReturn
 
 from repro.errors import CheckpointError, XmlSyntaxError
@@ -77,6 +79,41 @@ MAX_RETAINED_DIAGNOSTICS = 1000
 
 #: Snapshot schema version produced by :meth:`XmlTokenizer.snapshot`.
 TOKENIZER_SNAPSHOT_VERSION = 1
+
+# -- push-mode fast-path patterns ----------------------------------------
+#
+# The push scanner (:meth:`XmlTokenizer.feed_into`) recognises the common
+# tag shapes with compiled regular expressions so the per-tag work runs
+# in C instead of a per-character Python loop.  The patterns are strict
+# *subsets* of what the reference scanner accepts: anything they do not
+# match — unicode names, entity references in attribute values, missing
+# '>' (incomplete tail), malformed markup — falls through to the exact
+# same slow-path code the pull API runs, so behaviour (errors,
+# diagnostics, recovery, limits) is identical by construction.
+#
+# Attribute values in the fast pattern exclude '&' (entity decoding),
+# '<' (always an error), and tab/newline/CR (attribute-value
+# normalisation) so a fast-path value needs no post-processing.
+_FAST_NAME = r"[A-Za-z_:][A-Za-z0-9_:.\-]*"
+_FAST_VALUE = "\"[^\"<&\\t\\n\\r]*\"|'[^'<&\\t\\n\\r]*'"
+_FAST_START_RE = re.compile(
+    f"<({_FAST_NAME})"
+    f"((?:[ \\t\\r\\n]+{_FAST_NAME}[ \\t\\r\\n]*=[ \\t\\r\\n]*(?:{_FAST_VALUE}))*)"
+    f"[ \\t\\r\\n]*(/?)>"
+)
+_FAST_END_RE = re.compile(f"</({_FAST_NAME})[ \\t\\r\\n]*>")
+_FAST_ATTR_RE = re.compile(
+    f"({_FAST_NAME})[ \\t\\r\\n]*=[ \\t\\r\\n]*(?:\"([^\"<&\\t\\n\\r]*)\"|'([^'<&\\t\\n\\r]*)')"
+)
+
+#: Shared attribute mapping for attribute-less start tags on the push
+#: fast path.  Handlers must treat it as read-only.
+_NO_ATTRIBUTES: dict[str, str] = {}
+
+# Return codes of :meth:`XmlTokenizer._handle_misc_markup`.
+_MISC_NOT = 0  # the construct at pos is a plain tag
+_MISC_CONSUMED = 1  # comment/CDATA/PI/DOCTYPE consumed; rescan
+_MISC_INCOMPLETE = 2  # construct still incomplete; wait for more input
 
 
 def _is_name(text: str) -> bool:
@@ -146,6 +183,12 @@ class XmlTokenizer:
     ):
         self._buffer = ""
         self._pos = 0  # scan offset into _buffer; compacted between feeds
+        # Chunks accepted by feed()/feed_into() but not yet merged into
+        # _buffer.  Buffering them as a list and joining once per drain
+        # keeps N unconsumed feeds O(total), not O(total²) string
+        # re-copies, and means a feed() whose iterator is never consumed
+        # still retains (rather than silently drops) its chunk.
+        self._pending: list[str] = []
         self._text_parts: list[str] = []  # pending character data
         self._text_len = 0  # total characters staged in _text_parts
         self._skip_whitespace = skip_whitespace
@@ -181,10 +224,18 @@ class XmlTokenizer:
         return self._policy
 
     def feed(self, chunk: str) -> Iterator[Event]:
-        """Consume ``chunk`` and yield all events completed by it."""
+        """Consume ``chunk`` and yield all events completed by it.
+
+        The chunk is retained immediately (even if the returned iterator
+        is never consumed); scanning happens lazily as events are pulled.
+        """
         if self._closed:
             raise XmlSyntaxError("feed() after close()", self._cursor.line, self._cursor.column)
-        self._buffer += chunk
+        self._pending.append(chunk)
+        return self._pull_events()
+
+    def _pull_events(self) -> Iterator[Event]:
+        self._merge_pending()
         for event in self._drain():
             self._note_event()
             yield event
@@ -193,6 +244,44 @@ class XmlTokenizer:
             # this caps what a single unterminated construct (one giant
             # tag, an unclosed CDATA section) can make us remember.
             self._limits.check("max_buffered_input", len(self._buffer) - self._pos)
+
+    def feed_into(self, chunk: str, handler) -> None:
+        """Push-mode feed: scan ``chunk`` and drive ``handler`` callbacks.
+
+        The fused fast path: events completed by the chunk are delivered
+        as direct ``start_element`` / ``characters`` / ``end_element``
+        calls on ``handler`` (any :class:`~repro.stream.events.EventHandler`),
+        with no event objects, no generator suspension, and compiled-regex
+        tag scanning.  State — buffer, stack, cursor, counters, limits,
+        recovery — is shared with the pull API, so the two modes can be
+        mixed on one tokenizer and :meth:`snapshot` captures either.
+        """
+        if self._closed:
+            raise XmlSyntaxError("feed() after close()", self._cursor.line, self._cursor.column)
+        self._pending.append(chunk)
+        self._merge_pending()
+        try:
+            self._scan_push(handler)
+        finally:
+            self._compact()
+        if self._limits is not None:
+            self._limits.check("max_buffered_input", len(self._buffer))
+
+    def close_into(self, handler) -> None:
+        """Push-mode :meth:`close`: deliver final events to ``handler``.
+
+        Synthesized end tags (lenient policies over truncated input) and
+        any final character data reach the handler as callbacks; strict
+        incompleteness raises exactly as :meth:`close` does.
+        """
+        for event in self.close():
+            cls = event.__class__
+            if cls is EndElement:
+                handler.end_element(event.tag, event.level)
+            elif cls is Characters:
+                handler.characters(event.text, event.level)
+            else:  # pragma: no cover - close() never synthesizes starts
+                handler.start_element(event.tag, event.level, event.node_id, event.attributes)
 
     def close(self) -> list[Event]:
         """Declare end of input.
@@ -205,6 +294,7 @@ class XmlTokenizer:
         """
         if self._closed:
             return []
+        self._merge_pending()
         self._closed = True
         leftover = self._buffer[self._pos:].strip()
         self._buffer = ""
@@ -245,6 +335,7 @@ class XmlTokenizer:
         ``on_diagnostic`` callback and the limits object — is supplied
         anew to :meth:`restore`.
         """
+        self._merge_pending()
         return {
             "version": TOKENIZER_SNAPSHOT_VERSION,
             "buffer": self._buffer[self._pos:],
@@ -343,6 +434,37 @@ class XmlTokenizer:
             self._buffer = self._buffer[self._pos:]
             self._pos = 0
 
+    def _merge_pending(self) -> None:
+        """Fold chunks accepted by ``feed`` into the scan buffer.
+
+        Compacts first, so the join concatenates the unfinished tail with
+        the new chunks in one pass — the only string copies the buffer
+        ever pays, regardless of how many chunks arrived in between.
+        """
+        if self._pending:
+            self._compact()
+            if self._buffer:
+                self._pending.insert(0, self._buffer)
+            self._buffer = "".join(self._pending)
+            self._pending.clear()
+
+    def _advance_span(self, start: int, end: int) -> None:
+        """Advance the scan offset and cursor over ``buffer[start:end]``.
+
+        Equivalent to :meth:`_consume` without materialising the slice —
+        the push scanner's bookkeeping for spans whose text it does not
+        need.
+        """
+        self._pos = end
+        buffer = self._buffer
+        newlines = buffer.count("\n", start, end)
+        cursor = self._cursor
+        if newlines:
+            cursor.line += newlines
+            cursor.column = end - buffer.rfind("\n", start, end)
+        else:
+            cursor.column += end - start
+
     def _remaining(self) -> int:
         return len(self._buffer) - self._pos
 
@@ -354,6 +476,81 @@ class XmlTokenizer:
             # makes per-token work O(token), not O(buffer).
             self._compact()
 
+    def _stage_text_tail(self, pos: int) -> None:
+        """Stage trailing character data when the buffer holds no ``<``.
+
+        Emits only what cannot be the start of an entity split across
+        chunks (a small tail is held back if an unterminated ``&`` is
+        pending), and holds back a trailing ``\\r`` too: it may be the
+        first half of a ``\\r\\n`` pair split across chunks.
+        """
+        buffer = self._buffer
+        amp = buffer.rfind("&", pos)
+        cut = len(buffer)
+        if amp != -1 and buffer.find(";", amp) == -1:
+            cut = amp
+        if cut > pos and buffer[cut - 1] == "\r":
+            cut -= 1
+        if cut > pos:
+            self._push_text(self._consume(cut - pos))
+
+    def _handle_misc_markup(self, pos: int, strict: bool) -> int:
+        """Handle a non-element construct at ``pos`` (which holds ``<``).
+
+        Comments, CDATA sections, processing instructions, DOCTYPE, and
+        unrecognised ``<!`` markup — shared verbatim by the pull and push
+        scanners.  Returns :data:`_MISC_NOT` when ``pos`` starts a plain
+        tag instead, :data:`_MISC_CONSUMED` when a construct was consumed
+        (rescan from the new offset), or :data:`_MISC_INCOMPLETE` when
+        more input is needed.
+        """
+        buffer = self._buffer
+        if buffer.startswith("<!--", pos):
+            end = buffer.find("-->", pos + 4)
+            if end == -1:
+                return _MISC_INCOMPLETE
+            comment = buffer[pos + 4:end]
+            if "--" in comment:
+                if strict:
+                    self._error("'--' not allowed inside a comment")
+                self._diagnose("'--' inside a comment", ACTION_SKIPPED)
+            self._consume(end + 3 - pos)
+            return _MISC_CONSUMED
+        if buffer.startswith("<![CDATA[", pos):
+            end = buffer.find("]]>", pos + 9)
+            if end == -1:
+                return _MISC_INCOMPLETE
+            text = buffer[pos + 9:end]
+            self._consume(end + 3 - pos)
+            self._push_text(text, decode=False)
+            return _MISC_CONSUMED
+        if buffer.startswith("<?", pos):
+            end = buffer.find("?>", pos + 2)
+            if end == -1:
+                return _MISC_INCOMPLETE
+            self._consume(end + 2 - pos)
+            return _MISC_CONSUMED
+        if buffer.startswith("<!", pos):
+            head = buffer[pos:pos + 9]
+            maybe_incomplete = len(head) < 9 and any(
+                prefix.startswith(head)
+                for prefix in ("<!--", "<![CDATA[", "<!DOCTYPE")
+            )
+            if maybe_incomplete:
+                return _MISC_INCOMPLETE  # construct kind not yet determined
+            if buffer.startswith("<!DOCTYPE", pos):
+                end = self._doctype_end(pos)
+                if end == -1:
+                    return _MISC_INCOMPLETE
+                self._consume(end + 1 - pos)
+                return _MISC_CONSUMED
+            if strict:
+                self._error(f"unrecognised markup {buffer[pos:pos + 12]!r}")
+            if not self._skip_bad_markup(pos):
+                return _MISC_INCOMPLETE  # closing '>' not received yet
+            return _MISC_CONSUMED
+        return _MISC_NOT
+
     def _scan(self) -> Iterator[Event]:
         strict = self._policy is RecoveryPolicy.STRICT
         buffer = self._buffer
@@ -361,68 +558,17 @@ class XmlTokenizer:
             pos = self._pos
             lt = buffer.find("<", pos)
             if lt == -1:
-                # Pure text so far; emit only what cannot be the start of
-                # an entity split across chunks (keep a small tail if an
-                # unterminated '&' is pending).
-                amp = buffer.rfind("&", pos)
-                cut = len(buffer)
-                if amp != -1 and buffer.find(";", amp) == -1:
-                    cut = amp
-                # Hold back a trailing '\r' too: it may be the first half
-                # of a '\r\n' pair split across chunks.
-                if cut > pos and buffer[cut - 1] == "\r":
-                    cut -= 1
-                if cut > pos:
-                    self._push_text(self._consume(cut - pos))
+                self._stage_text_tail(pos)
                 return
             if lt > pos:
                 self._push_text(self._consume(lt - pos))
                 continue
             # The buffer at pos starts with '<'.
-            if buffer.startswith("<!--", pos):
-                end = buffer.find("-->", pos + 4)
-                if end == -1:
-                    return
-                comment = buffer[pos + 4:end]
-                if "--" in comment:
-                    if strict:
-                        self._error("'--' not allowed inside a comment")
-                    self._diagnose("'--' inside a comment", ACTION_SKIPPED)
-                self._consume(end + 3 - pos)
+            misc = self._handle_misc_markup(pos, strict)
+            if misc == _MISC_CONSUMED:
                 continue
-            if buffer.startswith("<![CDATA[", pos):
-                end = buffer.find("]]>", pos + 9)
-                if end == -1:
-                    return
-                text = buffer[pos + 9:end]
-                self._consume(end + 3 - pos)
-                self._push_text(text, decode=False)
-                continue
-            if buffer.startswith("<?", pos):
-                end = buffer.find("?>", pos + 2)
-                if end == -1:
-                    return
-                self._consume(end + 2 - pos)
-                continue
-            if buffer.startswith("<!", pos):
-                head = buffer[pos:pos + 9]
-                maybe_incomplete = len(head) < 9 and any(
-                    prefix.startswith(head)
-                    for prefix in ("<!--", "<![CDATA[", "<!DOCTYPE")
-                )
-                if maybe_incomplete:
-                    return  # construct kind not yet determined
-                if buffer.startswith("<!DOCTYPE", pos):
-                    end = self._doctype_end(pos)
-                    if end == -1:
-                        return
-                    self._consume(end + 1 - pos)
-                    continue
-                if strict:
-                    self._error(f"unrecognised markup {buffer[pos:pos + 12]!r}")
-                if not self._skip_bad_markup(pos):
-                    return  # closing '>' not received yet
-                continue
+            if misc == _MISC_INCOMPLETE:
+                return
             gt = self._find_tag_end(pos)
             if gt == -2:
                 continue  # lenient recovery consumed the bad tag text
@@ -438,6 +584,155 @@ class XmlTokenizer:
                 # The malformed tag was already consumed: dropping it *is*
                 # the resynchronisation — the scan continues at the next
                 # tag boundary.
+                self._diagnose(
+                    f"dropped malformed tag: {exc.raw_message}",
+                    ACTION_SKIPPED,
+                    exc.line,
+                    exc.column,
+                )
+
+    def _scan_push(self, handler) -> None:
+        """The fused push scanner behind :meth:`feed_into`.
+
+        Recognises the common tag shapes with the compiled ``_FAST_*``
+        patterns and calls the handler directly; everything the patterns
+        do not cover falls through to the *same* slow-path helpers the
+        pull scanner uses (:meth:`_handle_misc_markup`,
+        :meth:`_find_tag_end`, :meth:`_handle_tag`), so error positions,
+        diagnostics, recovery actions, and limit enforcement are shared
+        code, not a parallel implementation.
+        """
+        strict = self._policy is RecoveryPolicy.STRICT
+        limits = self._limits
+        buffer = self._buffer
+        stack = self._stack
+        length = len(buffer)
+        start_match = _FAST_START_RE.match
+        end_match = _FAST_END_RE.match
+        find = buffer.find
+        while self._pos < length:
+            pos = self._pos
+            lt = find("<", pos)
+            if lt == -1:
+                self._stage_text_tail(pos)
+                return
+            if lt > pos:
+                self._push_text(self._consume(lt - pos))
+                pos = lt
+            # Fast path: common start-tag shapes, matched in C.
+            match = start_match(buffer, pos)
+            if match is not None:
+                self._advance_span(pos, match.end())
+                self._flush_text_into(handler)
+                if self._ignore_depth:
+                    if not match.group(3):
+                        self._ignore_depth += 1
+                    continue
+                tag = match.group(1)
+                # Attribute parsing (and its errors / limit checks) comes
+                # *before* the second-document-element check, exactly as
+                # in _handle_tag → _parse_tag_body.
+                try:
+                    attr_text = match.group(2)
+                    if attr_text:
+                        attributes: dict[str, str] = {}
+                        for attr in _FAST_ATTR_RE.finditer(attr_text):
+                            name = attr.group(1)
+                            if name in attributes:
+                                self._error(f"duplicate attribute {name!r} in <{tag}>")
+                            value = attr.group(2)
+                            if value is None:
+                                value = attr.group(3)
+                            if limits is not None:
+                                limits.check("max_attribute_length", len(value))
+                            attributes[name] = value
+                            if limits is not None:
+                                limits.check("max_attributes", len(attributes))
+                    else:
+                        attributes = _NO_ATTRIBUTES
+                except XmlSyntaxError as exc:
+                    if strict:
+                        raise
+                    self._diagnose(
+                        f"dropped malformed tag: {exc.raw_message}",
+                        ACTION_SKIPPED,
+                        exc.line,
+                        exc.column,
+                    )
+                    continue
+                if not stack and self._seen_root:
+                    if strict:
+                        self._error(f"second document element <{tag}>")
+                    self._diagnose(
+                        f"dropped second document element <{tag}>", ACTION_SKIPPED
+                    )
+                    if not match.group(3):
+                        self._ignore_depth = 1
+                    continue
+                if limits is not None:
+                    limits.check("max_depth", len(stack) + 1)
+                self._seen_root = True
+                tag = _intern(tag)
+                stack.append(tag)
+                level = len(stack)
+                node_id = self._next_id
+                self._next_id = node_id + 1
+                self._note_event()
+                handler.start_element(tag, level, node_id, attributes)
+                if match.group(3):
+                    stack.pop()
+                    self._note_event()
+                    handler.end_element(tag, level)
+                continue
+            # Fast path: common end-tag shapes.
+            match = end_match(buffer, pos)
+            if match is not None:
+                self._advance_span(pos, match.end())
+                self._flush_text_into(handler)
+                if self._ignore_depth:
+                    self._ignore_depth -= 1
+                    continue
+                tag = match.group(1)
+                if stack and stack[-1] == tag:
+                    level = len(stack)
+                    # Pop rather than re-use the match text: the popped
+                    # string is the interned start tag, so downstream
+                    # dict lookups stay pointer-fast.
+                    tag = stack.pop()
+                    self._note_event()
+                    handler.end_element(tag, level)
+                    continue
+                # Mismatched or stray end tag: the pull path's structural
+                # recovery (strict raises from _end_events directly).
+                for event in self._end_events(tag):
+                    self._note_event()
+                    handler.end_element(event.tag, event.level)
+                continue
+            # Slow path: misc markup and every tag the patterns skip.
+            misc = self._handle_misc_markup(pos, strict)
+            if misc == _MISC_CONSUMED:
+                continue
+            if misc == _MISC_INCOMPLETE:
+                return
+            gt = self._find_tag_end(pos)
+            if gt == -2:
+                continue  # lenient recovery consumed the bad tag text
+            if gt == -1:
+                return
+            tag_text = self._consume(gt + 1 - pos)
+            self._flush_text_into(handler)
+            try:
+                for event in self._handle_tag(tag_text):
+                    self._note_event()
+                    if event.__class__ is StartElement:
+                        handler.start_element(
+                            event.tag, event.level, event.node_id, event.attributes
+                        )
+                    else:
+                        handler.end_element(event.tag, event.level)
+            except XmlSyntaxError as exc:
+                if strict:
+                    raise
                 self._diagnose(
                     f"dropped malformed tag: {exc.raw_message}",
                     ACTION_SKIPPED,
@@ -533,6 +828,10 @@ class XmlTokenizer:
         if self._limits is not None:
             self._limits.check("max_depth", len(self._stack) + 1)
         self._seen_root = True
+        # Interning tags makes downstream dict dispatch (machine tag
+        # tables, the multi-query router) pointer-fast, and lets matching
+        # end tags share the same string object via the stack pop.
+        tag = _intern(tag)
         self._stack.append(tag)
         event = StartElement(tag, len(self._stack), self._next_id, attributes)
         self._next_id += 1
@@ -693,6 +992,18 @@ class XmlTokenizer:
             return
         yield Characters(text, len(self._stack))
 
+    def _flush_text_into(self, handler) -> None:
+        """Push-mode :meth:`_flush_text`: deliver pending text directly."""
+        if not self._text_parts:
+            return
+        text = "".join(self._text_parts)
+        self._text_parts.clear()
+        self._text_len = 0
+        if self._skip_whitespace and not text.strip():
+            return
+        self._note_event()
+        handler.characters(text, len(self._stack))
+
     def _decode_entities(self, text: str) -> str:
         if "&" not in text:
             return text
@@ -728,6 +1039,46 @@ class XmlTokenizer:
 
 #: Chunk size used when reading files incrementally.
 DEFAULT_CHUNK_SIZE = 64 * 1024
+
+
+def iter_text_chunks(source, chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[str]:
+    """Yield raw text chunks from any text-bearing source.
+
+    Accepts XML text (a ``str`` containing ``<``), a path, an open text
+    file, or an iterable of string chunks — the text-level subset of what
+    :func:`events_from` dispatches on.  The push pipeline uses this to
+    drive :meth:`XmlTokenizer.feed_into` from the same sources the pull
+    pipeline evaluates.
+    """
+    if isinstance(source, str):
+        if "<" in source:
+            yield source
+            return
+        path: "str | os.PathLike[str]" = source
+    elif isinstance(source, os.PathLike):
+        path = source
+    elif hasattr(source, "read"):
+        while True:
+            chunk = source.read(chunk_size)
+            if not chunk:
+                return
+            yield chunk
+        return
+    else:
+        for chunk in source:
+            if not isinstance(chunk, str):
+                raise TypeError(
+                    f"push pipeline needs text chunks, got {type(chunk).__name__} "
+                    "(pre-built event streams have no text to scan)"
+                )
+            yield chunk
+        return
+    with open(path, "r", encoding="utf-8") as handle:
+        while True:
+            chunk = handle.read(chunk_size)
+            if not chunk:
+                return
+            yield chunk
 
 
 def parse_string(
