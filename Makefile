@@ -3,7 +3,7 @@
 PYTHON ?= python3
 PROFILE ?= small
 
-.PHONY: install test robustness bench multiq perf figures examples clean
+.PHONY: install test robustness bench multiq perf obs docs figures examples clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -24,6 +24,12 @@ multiq:
 
 perf:
 	$(PYTHON) ci/perf_smoke.py
+
+obs:
+	$(PYTHON) ci/obs_smoke.py
+
+docs:
+	$(PYTHON) ci/docs_check.py
 
 figures:
 	$(PYTHON) -m repro.bench --all --profile $(PROFILE)

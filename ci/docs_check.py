@@ -1,0 +1,102 @@
+"""CI gate: the documentation may not point at things that don't exist.
+
+Two checks over ``README.md``, ``DESIGN.md`` and every ``docs/*.md``:
+
+1. **Relative links resolve** — every markdown link whose target is not
+   an absolute URL (``http(s)://``, ``mailto:``) or a pure in-page
+   anchor must name a file or directory that exists, relative to the
+   linking document (anchors are stripped before checking).
+2. **Dotted API names resolve** — every ``repro.foo.Bar``-style
+   reference must import: the longest importable module prefix is
+   found, and the remainder must resolve via ``getattr`` chains.  This
+   catches docs that keep advertising renamed or deleted APIs.
+
+Run from the repo root::
+
+    PYTHONPATH=src python ci/docs_check.py
+"""
+
+from __future__ import annotations
+
+import importlib
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+DOTTED = re.compile(r"\brepro(?:\.[A-Za-z_]\w*)+")
+
+#: Dotted names that look like APIs but are prose, not code.
+ALLOWED_UNRESOLVED: set[str] = set()
+
+
+def doc_files(root: Path) -> list[Path]:
+    files = [root / "README.md", root / "DESIGN.md"]
+    files += sorted((root / "docs").glob("*.md"))
+    return [path for path in files if path.exists()]
+
+
+def check_links(path: Path, root: Path) -> list[str]:
+    failures = []
+    for target in LINK.findall(path.read_text(encoding="utf-8")):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            continue  # in-page anchor
+        plain = target.split("#", 1)[0]
+        resolved = (path.parent / plain).resolve()
+        if not resolved.exists():
+            failures.append(
+                f"{path.relative_to(root)}: broken link {target!r} "
+                f"(no {resolved.relative_to(root)})"
+            )
+    return failures
+
+
+def resolve_dotted(name: str) -> bool:
+    """True when ``name`` imports as a module[.attribute...] chain."""
+    parts = name.split(".")
+    for cut in range(len(parts), 0, -1):
+        try:
+            obj = importlib.import_module(".".join(parts[:cut]))
+        except ImportError:
+            continue
+        try:
+            for attr in parts[cut:]:
+                obj = getattr(obj, attr)
+        except AttributeError:
+            return False
+        return True
+    return False
+
+
+def check_symbols(path: Path, root: Path) -> list[str]:
+    failures = []
+    for name in sorted(set(DOTTED.findall(path.read_text(encoding="utf-8")))):
+        if name in ALLOWED_UNRESOLVED:
+            continue
+        if not resolve_dotted(name):
+            failures.append(
+                f"{path.relative_to(root)}: dangling API reference {name!r}"
+            )
+    return failures
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    failures: list[str] = []
+    files = doc_files(root)
+    for path in files:
+        failures += check_links(path, root)
+        failures += check_symbols(path, root)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print(f"docs check: {len(files)} files, all links and API references "
+          "resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

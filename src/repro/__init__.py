@@ -22,6 +22,9 @@ Packages:
 * :mod:`repro.multiq` — shared multi-query dispatch (one routed parse).
 * :mod:`repro.xpath` — XP{/,//,*,[]} parsing and query trees.
 * :mod:`repro.stream` — modified-SAX events, parsers, DOM, serialization.
+* :mod:`repro.perf` — the fused push fast path (:class:`PushPipeline`).
+* :mod:`repro.obs` — opt-in metrics and tracing (pass ``metrics=`` /
+  ``tracer=`` anywhere a stream is built; see ``docs/OBSERVABILITY.md``).
 * :mod:`repro.baselines` — the comparator engines of the evaluation.
 * :mod:`repro.datasets` — Book / XMark / Protein corpus generators.
 * :mod:`repro.bench` — the experiment harness (figures 5-10).
@@ -30,6 +33,8 @@ Packages:
 from repro.core.processor import XPathStream, evaluate, evaluate_push
 from repro.core.twigm import TwigM
 from repro.multiq.engine import MultiQueryEngine
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.errors import (
     CheckpointError,
     ReproError,
@@ -42,10 +47,11 @@ from repro.errors import (
 from repro.stream.recovery import RecoveryPolicy, ResourceLimits, StreamDiagnostic
 from repro.xpath.querytree import QueryTree, compile_query
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CheckpointError",
+    "MetricsRegistry",
     "MultiQueryEngine",
     "QueryTree",
     "RecoveryPolicy",
@@ -54,6 +60,7 @@ __all__ = [
     "ResourceLimits",
     "StreamDiagnostic",
     "StreamStateError",
+    "Tracer",
     "TwigM",
     "UnsupportedQueryError",
     "XPathStream",

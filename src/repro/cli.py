@@ -85,6 +85,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.multiq.cli import main as multiq_main
 
         return multiq_main(argv[1:])
+    if argv and argv[0] == "stats":
+        # ``python -m repro stats QUERY FILE`` — one observed pass:
+        # metrics exposition + stage tracing (repro.obs.cli).
+        from repro.obs.cli import main as stats_main
+
+        return stats_main(argv[1:])
     if argv and argv[0] == "profile":
         # ``python -m repro profile QUERY FILE`` — cProfile one
         # evaluation through either pipeline (repro.perf.profiling).

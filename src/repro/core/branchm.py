@@ -60,6 +60,10 @@ class BranchM:
     '//' or '*' (use :class:`~repro.core.twigm.TwigM` instead).
     """
 
+    #: Stable engine identifier — shared by instrumented subclasses, used
+    #: as the snapshot ``engine`` key and as the metrics ``engine`` label.
+    machine_name = "branchm"
+
     def __init__(
         self,
         query: "str | QueryTree | Machine",

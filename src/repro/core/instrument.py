@@ -1,167 +1,45 @@
-"""Instrumented TwigM: operation counters for the complexity experiments.
+"""DEPRECATED shim — machine instrumentation lives in :mod:`repro.obs`.
 
-Theorem 4.4 bounds TwigM's running time by ``O((|Q| + R·B)·|Q|·|D|)``
-(R = document depth, B = query branching factor).  The ablation
-benchmarks validate that bound *empirically* by counting the actual
-machine operations instead of trusting wall clocks:
+This module used to define an ablation-only ``InstrumentedTwigM`` clone
+of the TwigM transition functions with operation counters inline.  The
+clone drifted from the production engine (it ignored resource limits and
+silently broke value tests) and is replaced by
+:mod:`repro.obs.machines`, where :class:`~repro.obs.machines.ObsTwigM`
+subclasses the *production* :class:`~repro.core.twigm.TwigM` and keeps
+every behaviour — limits, candidate accounting, trackers, checkpoints —
+while counting the same operations.  The obs engines additionally
+publish their counters to a :class:`~repro.obs.metrics.MetricsRegistry`
+when constructed with ``metrics=``.
 
-* ``pushes`` / ``pops`` — stack entries created and retired;
-* ``edge_checks`` — parent-stack probes during δs qualification;
-* ``flag_sets`` — branch-match bits set during δe propagation;
-* ``uploads`` — candidate-set unions;
-* ``peak_entries`` — the compact encoding's maximum live size, the
-  quantity the paper contrasts with the exponential number of pattern
-  matches (2n entries standing in for n², figure 1).
+For compatibility this module keeps the old import surface:
 
-:class:`InstrumentedTwigM` recomputes the transition functions with the
-counters inline; it is deliberately a separate class so the production
-engine pays nothing.
+* :class:`OperationCounts` — re-exported from
+  :mod:`repro.obs.machines` (its canonical home);
+* :class:`InstrumentedTwigM` — now a thin adapter over
+  :class:`~repro.obs.machines.ObsTwigM`, preserving the historical
+  two-argument constructor.  The counting semantics are unchanged
+  (``counts.events`` counts element events only; ``peak_entries`` is
+  the live-entry high-water mark), so the complexity benchmarks keep
+  measuring the same quantities.
+
+New code should use :class:`repro.obs.machines.ObsTwigM` (or
+``XPathStream(..., metrics=registry)``) directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from repro.obs.machines import ObsTwigM, OperationCounts
 
-from repro.core.machine import EDGE_EQ, MachineNode
-from repro.core.twigm import StackEntry, TwigM
-
-
-@dataclass(slots=True)
-class OperationCounts:
-    """Counters of machine operations during one evaluation."""
-
-    events: int = 0
-    pushes: int = 0
-    pops: int = 0
-    edge_checks: int = 0
-    flag_sets: int = 0
-    uploads: int = 0
-    peak_entries: int = 0
-    emitted: int = 0
-
-    def total_work(self) -> int:
-        """A single scalar: all counted operations."""
-        return (
-            self.pushes + self.pops + self.edge_checks
-            + self.flag_sets + self.uploads
-        )
+__all__ = ["InstrumentedTwigM", "OperationCounts"]
 
 
-class InstrumentedTwigM(TwigM):
-    """TwigM with per-operation counters (see :class:`OperationCounts`)."""
+class InstrumentedTwigM(ObsTwigM):
+    """TwigM with per-operation counters (see :class:`OperationCounts`).
+
+    Deprecated alias kept for the ablation benchmarks; it is exactly
+    :class:`~repro.obs.machines.ObsTwigM` restricted to the historical
+    ``(query, sink)`` constructor.
+    """
 
     def __init__(self, query, sink=None):
         super().__init__(query, sink=sink)
-        self.counts = OperationCounts()
-        self._live_entries = 0
-
-    # -- instrumented transitions ------------------------------------------
-
-    def start_element(self, tag, level, node_id, attributes=None):
-        self.counts.events += 1
-        if attributes is None:
-            attributes = {}
-        for node in self.machine.nodes_for_tag(tag):
-            condition = node.compiled_condition
-            if condition is None:
-                if node.attribute_tests and not node.attributes_satisfied(attributes):
-                    continue
-            elif not condition.possible(attributes):
-                continue
-            if node.parent is None:
-                self.counts.edge_checks += 1
-                if not node.edge_satisfied(level):
-                    continue
-            elif not self._counted_edge_exists(node, level):
-                continue
-            entry = StackEntry(level)
-            if node.value_tests or (condition is not None and condition.has_value_leaves):
-                entry.text_parts = []
-            if condition is not None:
-                entry.attr_bits = condition.attr_bits(attributes)
-            if node.is_return:
-                entry.add_candidate(node_id)
-            self._stacks[id(node)].append(entry)
-            self.counts.pushes += 1
-            self._live_entries += 1
-            if self._live_entries > self.counts.peak_entries:
-                self.counts.peak_entries = self._live_entries
-
-    def _counted_edge_exists(self, node: MachineNode, level: int) -> bool:
-        parent_stack = self._stacks[id(node.parent)]
-        if not parent_stack:
-            self.counts.edge_checks += 1
-            return False
-        if node.edge_op == EDGE_EQ:
-            target = level - node.edge_dist
-            for entry in reversed(parent_stack):
-                self.counts.edge_checks += 1
-                if entry.level == target:
-                    return True
-                if entry.level < target:
-                    return False
-            return False
-        self.counts.edge_checks += 1
-        return parent_stack[0].level <= level - node.edge_dist
-
-    def end_element(self, tag, level):
-        self.counts.events += 1
-        for node in self.machine.nodes_for_tag(tag):
-            stack = self._stacks[id(node)]
-            if not stack or stack[-1].level != level:
-                continue
-            entry = stack.pop()
-            self.counts.pops += 1
-            self._live_entries -= 1
-            condition = node.compiled_condition
-            if condition is None:
-                satisfied = entry.flags == node.complete_mask
-                if satisfied and node.value_tests:
-                    satisfied = all(
-                        test.evaluate(entry.string_value()) for test in node.value_tests
-                    )
-            else:
-                satisfied = condition.satisfied(
-                    entry.flags,
-                    entry.attr_bits,
-                    entry.string_value() if condition.has_value_leaves else "",
-                )
-            if not satisfied:
-                continue
-            if node.is_return and self.machine.eager_return:
-                if entry.candidates:
-                    self.counts.emitted += len(entry.candidates)
-                    self.sink.emit_all(sorted(entry.candidates))
-                continue
-            if node.parent is None:
-                if entry.candidates:
-                    self.counts.emitted += len(entry.candidates)
-                    self.sink.emit_all(sorted(entry.candidates))
-                continue
-            self._counted_propagate(node, entry, level)
-
-    def _counted_propagate(self, node: MachineNode, entry: StackEntry, level: int):
-        parent_stack = self._stacks[id(node.parent)]
-        bit = 1 << node.child_index
-        if node.edge_op == EDGE_EQ:
-            target = level - node.edge_dist
-            for parent_entry in reversed(parent_stack):
-                if parent_entry.level == target:
-                    self.counts.flag_sets += 1
-                    if entry.candidates:
-                        self.counts.uploads += 1
-                    parent_entry.upload_candidates(entry)
-                    parent_entry.flags |= bit
-                    break
-                if parent_entry.level < target:
-                    break
-        else:
-            threshold = level - node.edge_dist
-            for parent_entry in parent_stack:
-                if parent_entry.level > threshold:
-                    break
-                self.counts.flag_sets += 1
-                if entry.candidates:
-                    self.counts.uploads += 1
-                parent_entry.upload_candidates(entry)
-                parent_entry.flags |= bit

@@ -40,6 +40,10 @@ class PathM:
     document depth and total event count the machine will accept.
     """
 
+    #: Stable engine identifier — shared by instrumented subclasses, used
+    #: as the snapshot ``engine`` key and as the metrics ``engine`` label.
+    machine_name = "pathm"
+
     def __init__(
         self,
         query: "str | QueryTree | Machine",

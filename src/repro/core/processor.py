@@ -99,6 +99,13 @@ class XPathStream:
     limits:
         Optional :class:`~repro.stream.recovery.ResourceLimits`, enforced
         by both the tokenizer and the machine.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`.  When set,
+        the stream runs the *instrumented* machine subclass
+        (:mod:`repro.obs.machines`) and metric-publishing tokenizers, so
+        ``repro_machine_*`` and ``repro_tokenizer_*`` families populate.
+        When ``None`` (the default) the plain classes run — the hot
+        loops contain no metrics code at all.
     """
 
     def __init__(
@@ -110,6 +117,7 @@ class XPathStream:
         policy: "str | RecoveryPolicy" = RecoveryPolicy.STRICT,
         on_diagnostic: Callable[[StreamDiagnostic], None] | None = None,
         limits: ResourceLimits | None = None,
+        metrics=None,
     ):
         if isinstance(query, str):
             query = compile_query(query)
@@ -117,6 +125,7 @@ class XPathStream:
         self._policy = RecoveryPolicy.coerce(policy)
         self._on_diagnostic = on_diagnostic
         self._limits = limits
+        self._metrics = metrics
         if on_match is None:
             sink: ResultSink = CollectingSink()
         else:
@@ -128,15 +137,28 @@ class XPathStream:
                 engine_class = _ENGINES_BY_NAME[engine]
             except KeyError:
                 raise ValueError(f"unknown engine {engine!r}") from None
-        self.engine = engine_class(query, sink=sink, limits=limits)
+        if metrics is None:
+            self.engine = engine_class(query, sink=sink, limits=limits)
+        else:
+            # Lazy import: the obs layer sits above core and is only
+            # loaded when instrumentation is requested.
+            from repro.obs.machines import OBS_ENGINES_BY_NAME
+
+            obs_class = OBS_ENGINES_BY_NAME[engine_class.machine_name]
+            self.engine = obs_class(query, sink=sink, limits=limits, metrics=metrics)
         self._sink = sink
         self._tokenizer: XmlTokenizer | None = None
         self._push_handler = None
 
     @property
     def engine_name(self) -> str:
-        """Which machine evaluates this query: pathm, branchm or twigm."""
-        return type(self.engine).__name__.lower()
+        """Which machine evaluates this query: pathm, branchm or twigm.
+
+        Instrumented subclasses report their base engine's name, so
+        snapshots restore onto either variant.
+        """
+        return getattr(type(self.engine), "machine_name",
+                       type(self.engine).__name__.lower())
 
     @property
     def results(self) -> list[int]:
@@ -166,6 +188,7 @@ class XPathStream:
                 policy=self._policy,
                 on_diagnostic=self._on_diagnostic,
                 limits=self._limits,
+                metrics=self._metrics,
             )
         )
         if isinstance(self._sink, CollectingSink):
@@ -189,6 +212,7 @@ class XPathStream:
             policy=self._policy,
             on_diagnostic=self._on_diagnostic,
             limits=self._limits,
+            metrics=self._metrics,
         )
         for chunk in iter_text_chunks(source):
             tokenizer.feed_into(chunk, handler)
@@ -221,6 +245,7 @@ class XPathStream:
                 policy=self._policy,
                 on_diagnostic=self._on_diagnostic,
                 limits=self._limits,
+                metrics=self._metrics,
             )
         self.engine.feed(self._tokenizer.feed(chunk))
 
@@ -236,6 +261,7 @@ class XPathStream:
                 policy=self._policy,
                 on_diagnostic=self._on_diagnostic,
                 limits=self._limits,
+                metrics=self._metrics,
             )
         self._tokenizer.feed_into(chunk, self.push_handler())
 
@@ -291,12 +317,16 @@ class XPathStream:
         snapshot: dict,
         on_match: Callable[[int], None] | None = None,
         on_diagnostic: Callable[[StreamDiagnostic], None] | None = None,
+        metrics=None,
     ) -> "XPathStream":
         """Rebuild a stream from a :meth:`snapshot` capture.
 
         Callbacks are not serializable, so ``on_match``/``on_diagnostic``
         are supplied anew; ids emitted before the checkpoint are
-        remembered and will not fire ``on_match`` again.
+        remembered and will not fire ``on_match`` again.  Passing
+        ``metrics`` resumes with instrumentation: cumulative counters
+        carried in the snapshot are re-published, so the registry of a
+        resumed stream reports the same totals as an uninterrupted run.
         """
         version = snapshot.get("version")
         if version != SNAPSHOT_VERSION:
@@ -311,6 +341,7 @@ class XPathStream:
                 policy=snapshot["policy"],
                 on_diagnostic=on_diagnostic,
                 limits=ResourceLimits.from_dict(snapshot.get("limits")),
+                metrics=metrics,
             )
             stream.engine.restore_state(snapshot["machine"])
             stream._sink.restore_state(snapshot["sink"])
@@ -319,6 +350,7 @@ class XPathStream:
                     snapshot["tokenizer"],
                     on_diagnostic=on_diagnostic,
                     limits=stream._limits,
+                    metrics=metrics,
                 )
         except (KeyError, TypeError, ValueError) as exc:
             raise CheckpointError(f"malformed snapshot: {exc}") from exc

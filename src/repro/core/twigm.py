@@ -139,6 +139,10 @@ class TwigM:
     integration with any parser.
     """
 
+    #: Stable engine identifier — shared by instrumented subclasses, used
+    #: as the snapshot ``engine`` key and as the metrics ``engine`` label.
+    machine_name = "twigm"
+
     def __init__(
         self,
         query: "str | QueryTree | Machine",

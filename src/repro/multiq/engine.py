@@ -112,6 +112,14 @@ class MultiQueryEngine:
         :class:`~repro.core.processor.XPathStream`.  ``limits`` here
         bounds the tokenizer; per-query machine limits are passed to
         :meth:`add_query` instead.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`.  When set,
+        every unit runs an instrumented machine (populating the
+        ``repro_machine_*`` families), the shared tokenizer publishes
+        ``repro_tokenizer_*``, and the engine registers a collector for
+        the ``repro_multiq_*`` families: total/dispatched/broadcast
+        event counts, query and unit gauges, the router hit ratio, and
+        per-query emitted counts (labelled ``query="name"``).
     """
 
     def __init__(
@@ -122,6 +130,7 @@ class MultiQueryEngine:
         policy: "str | RecoveryPolicy" = RecoveryPolicy.STRICT,
         on_diagnostic: "Callable[[StreamDiagnostic], None] | None" = None,
         limits: ResourceLimits | None = None,
+        metrics=None,
     ):
         self._registry = QueryRegistry()
         self._router = AlphabetRouter()
@@ -129,12 +138,15 @@ class MultiQueryEngine:
         self._policy = RecoveryPolicy.coerce(policy)
         self._on_diagnostic = on_diagnostic
         self._limits = limits
+        self._metrics = metrics
         self._tokenizer: XmlTokenizer | None = None
         self._handler: "_MultiQueryHandler | None" = None
         self._virgin_units: set[EvalUnit] = set()
         self._events = 0
         self._dispatched = 0
         self._broadcast = 0
+        if metrics is not None:
+            self._bind_metrics(metrics)
         if queries:
             for name, query in queries.items():
                 self.add_query(name, query)
@@ -174,6 +186,63 @@ class MultiQueryEngine:
             machine_events_broadcast=self._broadcast,
         )
 
+    def emitted_counts(self) -> dict[str, int]:
+        """Distinct solutions emitted so far, per query (any sink kind)."""
+        counts: dict[str, int] = {}
+        for registration in self._registry.registrations():
+            sink = registration.unit.sink.sinks[registration.name]
+            seen = getattr(sink, "_seen", None)
+            counts[registration.name] = len(seen) if seen is not None else 0
+        return counts
+
+    # -- metrics --------------------------------------------------------
+
+    def _bind_metrics(self, metrics) -> None:
+        self._m_events = metrics.counter(
+            "repro_multiq_events_total", "Events dispatched through the router."
+        )
+        self._m_dispatched = metrics.counter(
+            "repro_multiq_dispatched_total",
+            "Machine-event deliveries the router actually made.",
+        )
+        self._m_broadcast = metrics.counter(
+            "repro_multiq_broadcast_total",
+            "Counterfactual deliveries a broadcast dispatcher would make.",
+        )
+        self._m_queries = metrics.gauge(
+            "repro_multiq_queries", "Standing queries currently registered."
+        )
+        self._m_units = metrics.gauge(
+            "repro_multiq_units", "Distinct machine units after dedup."
+        )
+        self._m_hit_ratio = metrics.gauge(
+            "repro_multiq_router_hit_ratio",
+            "Dispatched / broadcast: fraction of deliveries the router kept.",
+        )
+        self._m_emitted = metrics.counter(
+            "repro_multiq_emitted_total",
+            "Distinct solutions emitted, per query.",
+        )
+        metrics.add_collector(self._sync_metrics)
+
+    def _sync_metrics(self) -> None:
+        """Publish the authoritative dispatcher counters into the registry.
+
+        The counters live on the engine (and ride through snapshots), so
+        absolute ``set`` here makes the registry report cumulative truth
+        even on a checkpoint-resumed dispatcher.
+        """
+        self._m_events.set(self._events)
+        self._m_dispatched.set(self._dispatched)
+        self._m_broadcast.set(self._broadcast)
+        self._m_queries.set(len(self._registry))
+        self._m_units.set(self._registry.unit_count())
+        self._m_hit_ratio.set(
+            self._dispatched / self._broadcast if self._broadcast else 0.0
+        )
+        for name, count in self.emitted_counts().items():
+            self._m_emitted.set(count, query=name)
+
     # -- lifecycle ------------------------------------------------------
 
     def add_query(
@@ -202,6 +271,7 @@ class MultiQueryEngine:
             sink,
             limits=limits,
             callback=self._is_callback(on_match),
+            metrics=self._metrics,
         )
         if created is not None:
             self._router.add(created)
@@ -282,6 +352,7 @@ class MultiQueryEngine:
                 policy=self._policy,
                 on_diagnostic=self._on_diagnostic,
                 limits=self._limits,
+                metrics=self._metrics,
             )
         self.feed_events(self._tokenizer.feed(chunk))
 
@@ -303,6 +374,7 @@ class MultiQueryEngine:
                 policy=self._policy,
                 on_diagnostic=self._on_diagnostic,
                 limits=self._limits,
+                metrics=self._metrics,
             )
         self._tokenizer.feed_into(chunk, self.as_handler())
 
@@ -317,6 +389,7 @@ class MultiQueryEngine:
             policy=self._policy,
             on_diagnostic=self._on_diagnostic,
             limits=self._limits,
+            metrics=self._metrics,
         )
         for chunk in iter_text_chunks(source):
             tokenizer.feed_into(chunk, handler)
@@ -344,6 +417,7 @@ class MultiQueryEngine:
                 policy=self._policy,
                 on_diagnostic=self._on_diagnostic,
                 limits=self._limits,
+                metrics=self._metrics,
             )
         )
         return self.results()
@@ -436,6 +510,7 @@ class MultiQueryEngine:
         snapshot: dict,
         on_match: "Callable[[str, int], None] | None" = None,
         on_diagnostic: "Callable[[StreamDiagnostic], None] | None" = None,
+        metrics=None,
     ) -> "MultiQueryEngine":
         """Rebuild a dispatcher from a :meth:`snapshot` capture.
 
@@ -443,7 +518,9 @@ class MultiQueryEngine:
         rebinds every callback-mode query (ids emitted before the
         checkpoint are remembered and will not fire again); without it,
         callback-mode queries restore onto a silent sink so their
-        de-duplication state is still preserved.
+        de-duplication state is still preserved.  Passing ``metrics``
+        resumes with instrumentation; snapshot-carried counters make the
+        registry report the same totals as an uninterrupted run.
         """
         version = snapshot.get("version")
         if version != MULTIQ_SNAPSHOT_VERSION:
@@ -457,6 +534,7 @@ class MultiQueryEngine:
                 policy=snapshot["policy"],
                 on_diagnostic=on_diagnostic,
                 limits=ResourceLimits.from_dict(snapshot.get("limits")),
+                metrics=metrics,
             )
             engine._restore_queries(snapshot)
             stats = snapshot.get("stats", {})
@@ -468,6 +546,7 @@ class MultiQueryEngine:
                     snapshot["tokenizer"],
                     on_diagnostic=on_diagnostic,
                     limits=engine._limits,
+                    metrics=metrics,
                 )
         except (KeyError, TypeError, ValueError) as exc:
             raise CheckpointError(f"malformed multiq snapshot: {exc}") from exc
@@ -487,7 +566,8 @@ class MultiQueryEngine:
             first = payloads[members[0]]
             limits = ResourceLimits.from_dict(first.get("limits"))
             tree = canonicalize(first["query"])
-            unit = EvalUnit(tree, limits, engine_name=unit_payload["engine"])
+            unit = EvalUnit(tree, limits, engine_name=unit_payload["engine"],
+                            metrics=self._metrics)
             unit.virgin = bool(unit_payload.get("virgin", False))
             for index, member in enumerate(members):
                 payload = payloads[member]

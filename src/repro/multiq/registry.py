@@ -74,6 +74,7 @@ class EvalUnit:
         tree: QueryTree,
         limits: ResourceLimits | None = None,
         engine_name: str | None = None,
+        metrics=None,
     ):
         from repro.core.processor import _ENGINES_BY_NAME, select_engine_class
         from repro.multiq.router import machine_alphabet
@@ -88,7 +89,14 @@ class EvalUnit:
                 engine_class = _ENGINES_BY_NAME[engine_name]
             except KeyError:
                 raise ValueError(f"unknown engine {engine_name!r}") from None
-        self.engine = engine_class(tree, sink=self.sink, limits=limits)
+        if metrics is None:
+            self.engine = engine_class(tree, sink=self.sink, limits=limits)
+        else:
+            from repro.obs.machines import OBS_ENGINES_BY_NAME
+
+            obs_class = OBS_ENGINES_BY_NAME[engine_class.machine_name]
+            self.engine = obs_class(tree, sink=self.sink, limits=limits,
+                                    metrics=metrics)
         self.interest, self.wants_all, self.wants_text = machine_alphabet(
             self.engine.machine
         )
@@ -101,8 +109,13 @@ class EvalUnit:
 
     @property
     def engine_name(self) -> str:
-        """Which machine evaluates this unit: pathm, branchm or twigm."""
-        return type(self.engine).__name__.lower()
+        """Which machine evaluates this unit: pathm, branchm or twigm.
+
+        Instrumented subclasses report their base engine's name, so
+        snapshots restore onto either variant.
+        """
+        return getattr(type(self.engine), "machine_name",
+                       type(self.engine).__name__.lower())
 
     @property
     def names(self) -> list[str]:
@@ -185,6 +198,7 @@ class QueryRegistry:
         limits: ResourceLimits | None = None,
         callback: bool = False,
         share: bool = True,
+        metrics=None,
     ) -> tuple[Registration, EvalUnit | None]:
         """Register ``name`` → ``query``; returns ``(registration, new_unit)``.
 
@@ -205,7 +219,7 @@ class QueryRegistry:
                     unit = candidate
                     break
         if unit is None:
-            unit = created = EvalUnit(tree, limits)
+            unit = created = EvalUnit(tree, limits, metrics=metrics)
             self._units.setdefault(key, []).append(unit)
         unit.sink.add(name, sink)
         registration = Registration(

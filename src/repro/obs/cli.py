@@ -1,0 +1,120 @@
+"""``twigm stats`` — run a workload and print its metrics.
+
+Sub-front-end dispatched from :mod:`repro.cli`::
+
+    python -m repro stats '//item/name' auction.xml
+    python -m repro stats --queries standing.tsv feed.xml --format json
+    python -m repro stats '//a//b' doc.xml --trace trace.json
+
+Metrics go to stdout (Prometheus text by default, ``--format json``
+for the JSON snapshot); a one-line result summary goes to stderr; the
+optional ``--trace FILE`` writes the per-chunk stage spans as Chrome
+``trace_event`` JSON (load in ``chrome://tracing`` or Perfetto).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+from repro.obs.stats import run_stats
+from repro.stream.tokenizer import DEFAULT_CHUNK_SIZE
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="twigm stats",
+        description="Evaluate a workload with metrics + tracing enabled.",
+    )
+    parser.add_argument(
+        "query",
+        nargs="?",
+        help="the XPath query (omit when using --queries)",
+    )
+    parser.add_argument(
+        "source",
+        nargs="?",
+        default="-",
+        help="XML file path, or '-' for stdin (the default)",
+    )
+    parser.add_argument(
+        "--queries",
+        metavar="FILE",
+        help="standing-queries file: one 'name<TAB>xpath' per line",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("prom", "json"),
+        default="prom",
+        help="metrics output format (default: Prometheus text)",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="also write Chrome trace_event JSON to FILE",
+    )
+    parser.add_argument(
+        "--policy",
+        choices=("strict", "skip", "repair"),
+        default="strict",
+        help="malformed-input handling (default: strict)",
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=DEFAULT_CHUNK_SIZE,
+        metavar="N",
+        help="characters per streamed chunk (default: %(default)s)",
+    )
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.queries is not None:
+            from repro.cli import _read_query_file
+
+            # With --queries, a lone positional is the source.
+            if args.query is not None and args.source == "-":
+                args.source, args.query = args.query, None
+            if args.query is not None:
+                parser.error("give either QUERY or --queries FILE, not both")
+            queries = _read_query_file(args.queries)
+        elif args.query is None:
+            parser.error("a QUERY (or --queries FILE) is required")
+        else:
+            queries = args.query
+        source = sys.stdin.read() if args.source == "-" else args.source
+        run = run_stats(
+            queries,
+            source,
+            policy=args.policy,
+            chunk_size=args.chunk_size,
+        )
+    except ReproError as exc:
+        print(f"twigm: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"twigm: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(run.registry.render_json())
+    else:
+        sys.stdout.write(run.registry.render_prometheus())
+    if args.trace:
+        run.tracer.dump(args.trace)
+        print(f"trace written to {args.trace}", file=sys.stderr)
+    total = sum(len(ids) for ids in run.results.values())
+    print(
+        f"{run.chunks} chunks, {total} solutions "
+        f"across {len(run.results)} queries",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

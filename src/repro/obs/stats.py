@@ -1,0 +1,125 @@
+"""One observed evaluation pass: metrics + per-chunk stage spans.
+
+:func:`run_stats` wires the whole pipeline to one
+:class:`~repro.obs.metrics.MetricsRegistry` and one
+:class:`~repro.obs.trace.Tracer` and streams a document through it.
+A single query runs as a one-entry
+:class:`~repro.multiq.engine.MultiQueryEngine`, so the machine,
+tokenizer *and* dispatch metric families all populate regardless of
+workload shape — ``repro stats`` always exposes the same schema.
+
+Unlike the fused push path (which trades stage visibility for speed,
+see :mod:`repro.perf`), the stats runner deliberately splits each chunk
+into traceable stages:
+
+``parse``
+    tokenize the chunk into modified-SAX events;
+``dispatch``
+    route + dispatch the events through the multi-query engine — the
+    closing span args carry the chunk's dispatched/broadcast deltas;
+``emit``
+    an instant marker whose args carry how many new solutions the
+    chunk produced per collecting query.
+
+The resulting tracer dumps as Chrome ``chrome://tracing`` /  Perfetto
+JSON via :meth:`~repro.obs.trace.Tracer.to_chrome_trace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.multiq.engine import MultiQueryEngine
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+from repro.stream.recovery import RecoveryPolicy, ResourceLimits
+from repro.stream.tokenizer import DEFAULT_CHUNK_SIZE, XmlTokenizer, iter_text_chunks
+
+
+@dataclass(slots=True)
+class StatsRun:
+    """Everything one observed pass produced."""
+
+    #: the registry holding every populated metric family
+    registry: MetricsRegistry
+    #: the tracer holding the per-chunk stage spans
+    tracer: Tracer
+    #: per-query solution ids (collect mode)
+    results: dict = field(default_factory=dict)
+    #: chunks streamed (also available as ``repro_stats_chunks_total``)
+    chunks: int = 0
+
+
+def run_stats(
+    queries,
+    source,
+    *,
+    policy: "str | RecoveryPolicy" = RecoveryPolicy.STRICT,
+    limits: ResourceLimits | None = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+) -> StatsRun:
+    """Stream ``source`` through ``queries`` with full observability.
+
+    ``queries`` is a single XPath string or a ``{name: xpath}`` mapping;
+    ``source`` is anything text-bearing (XML text, a path, a file
+    object, text chunks).  A fresh registry/tracer is created unless one
+    is passed in (pass your own to aggregate several runs).
+    """
+    if isinstance(queries, str):
+        queries = {"query": queries}
+    registry = registry if registry is not None else MetricsRegistry()
+    tracer = tracer if tracer is not None else Tracer()
+    engine = MultiQueryEngine(queries, policy=policy, limits=limits,
+                              metrics=registry)
+    tokenizer = XmlTokenizer(
+        policy=RecoveryPolicy.coerce(policy),
+        limits=limits,
+        metrics=registry,
+    )
+    chunk_counter = registry.counter(
+        "repro_stats_chunks_total",
+        "Text chunks streamed by the stats runner.",
+    )
+    last_dispatched = last_broadcast = 0
+    last_emitted: dict[str, int] = {}
+    chunks = 0
+
+    def dispatch(events) -> None:
+        nonlocal last_dispatched, last_broadcast
+        tracer.begin("dispatch", events=len(events))
+        engine.feed_events(events)
+        stats = engine.dispatch_stats()
+        tracer.end(
+            dispatched=stats.machine_events_dispatched - last_dispatched,
+            broadcast=stats.machine_events_broadcast - last_broadcast,
+        )
+        last_dispatched = stats.machine_events_dispatched
+        last_broadcast = stats.machine_events_broadcast
+        emitted = engine.emitted_counts()
+        fresh = {
+            name: count - last_emitted.get(name, 0)
+            for name, count in emitted.items()
+            if count != last_emitted.get(name, 0)
+        }
+        tracer.instant("emit", new=sum(fresh.values()), by_query=fresh)
+        last_emitted.update(emitted)
+
+    for chunk in iter_text_chunks(source, chunk_size):
+        with tracer.span("chunk", index=chunks, size=len(chunk)):
+            tracer.begin("parse", size=len(chunk))
+            events = list(tokenizer.feed(chunk))
+            tracer.end(events=len(events))
+            dispatch(events)
+        chunks += 1
+        chunk_counter.inc()
+        registry.tick()
+    with tracer.span("close"):
+        tail = list(tokenizer.close())
+        if tail:
+            dispatch(tail)
+    results = engine.close()
+    registry.tick()
+    return StatsRun(registry=registry, tracer=tracer, results=results,
+                    chunks=chunks)

@@ -10,6 +10,7 @@ through :meth:`~repro.stream.tokenizer.XmlTokenizer.feed_into`.
 
 from __future__ import annotations
 
+import time
 from typing import Callable
 
 from repro.core.processor import XPathStream
@@ -25,6 +26,15 @@ class PushPipeline:
     extra ``chunk_size`` sets how much text each scanner call sees when
     the source is a file (bigger chunks amortise the regex scan's
     per-call overhead; the default matches the tokenizer's).
+
+    Observability is opt-in: pass ``metrics=`` (a
+    :class:`~repro.obs.metrics.MetricsRegistry`) to publish a per-chunk
+    latency histogram (``repro_push_chunk_seconds``), a chunk counter
+    (``repro_push_chunks_total``) and a throughput gauge
+    (``repro_push_mb_per_s``, MB of text per wall second over the last
+    :meth:`run`), and/or ``tracer=`` (a :class:`~repro.obs.trace.Tracer`)
+    to record one span per chunk.  When both are ``None`` :meth:`run`
+    executes the original untimed loop — the fast path pays nothing.
 
     Example::
 
@@ -43,6 +53,8 @@ class PushPipeline:
         on_diagnostic: Callable[[StreamDiagnostic], None] | None = None,
         limits: ResourceLimits | None = None,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
+        metrics=None,
+        tracer=None,
     ):
         self.stream = XPathStream(
             query,
@@ -51,11 +63,28 @@ class PushPipeline:
             policy=policy,
             on_diagnostic=on_diagnostic,
             limits=limits,
+            metrics=metrics,
         )
         self._policy = RecoveryPolicy.coerce(policy)
         self._on_diagnostic = on_diagnostic
         self._limits = limits
         self.chunk_size = chunk_size
+        self._metrics = metrics
+        self._tracer = tracer
+        if metrics is not None:
+            self._m_chunk_seconds = metrics.histogram(
+                "repro_push_chunk_seconds",
+                "Wall-clock seconds spent scanning+evaluating one text chunk.",
+            )
+            self._m_chunks = metrics.counter(
+                "repro_push_chunks_total",
+                "Text chunks fed through the fused push path.",
+            )
+            self._m_mb_per_s = metrics.gauge(
+                "repro_push_mb_per_s",
+                "Push-path throughput over the most recent run "
+                "(1e6 characters of XML text per wall second).",
+            )
 
     @property
     def engine_name(self) -> str:
@@ -77,11 +106,41 @@ class PushPipeline:
             policy=self._policy,
             on_diagnostic=self._on_diagnostic,
             limits=self._limits,
+            metrics=self._metrics,
         )
-        for chunk in iter_text_chunks(source, self.chunk_size):
-            tokenizer.feed_into(chunk, handler)
-        tokenizer.close_into(handler)
+        if self._metrics is None and self._tracer is None:
+            for chunk in iter_text_chunks(source, self.chunk_size):
+                tokenizer.feed_into(chunk, handler)
+            tokenizer.close_into(handler)
+        else:
+            self._run_observed(source, tokenizer, handler)
         try:
             return list(stream.results)
         except AttributeError:  # on_match mode: delivered incrementally
             return []
+
+    def _run_observed(self, source, tokenizer, handler) -> None:
+        """Timed variant of the chunk loop; only used when observing."""
+        metrics, tracer = self._metrics, self._tracer
+        chars = 0
+        busy = 0.0
+        index = 0
+        for chunk in iter_text_chunks(source, self.chunk_size):
+            if tracer is not None:
+                tracer.begin("push_chunk", index=index, size=len(chunk))
+            started = time.perf_counter()
+            tokenizer.feed_into(chunk, handler)
+            elapsed = time.perf_counter() - started
+            if tracer is not None:
+                tracer.end()
+            chars += len(chunk)
+            busy += elapsed
+            index += 1
+            if metrics is not None:
+                self._m_chunk_seconds.observe(elapsed)
+                self._m_chunks.inc()
+                metrics.tick()
+        tokenizer.close_into(handler)
+        if metrics is not None:
+            self._m_mb_per_s.set(chars / busy / 1e6 if busy else 0.0)
+            metrics.tick()

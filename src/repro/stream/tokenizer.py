@@ -172,6 +172,15 @@ class XmlTokenizer:
         Optional :class:`~repro.stream.recovery.ResourceLimits`; crossing
         any bound raises :class:`~repro.errors.ResourceLimitError`
         regardless of policy.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`.  When set,
+        the tokenizer publishes ``repro_tokenizer_*`` families (bytes
+        fed, events produced, recovery actions, current depth) once per
+        ``feed``/``feed_into``/``close`` call — deltas only, so several
+        tokenizers can share one registry and a tokenizer restored from
+        a snapshot re-publishes its cumulative history into a fresh
+        registry.  When ``None`` (the default) the only trace of the
+        feature on the hot path is one integer addition per chunk.
     """
 
     def __init__(
@@ -180,6 +189,7 @@ class XmlTokenizer:
         policy: "str | RecoveryPolicy" = RecoveryPolicy.STRICT,
         on_diagnostic: Callable[[StreamDiagnostic], None] | None = None,
         limits: ResourceLimits | None = None,
+        metrics=None,
     ):
         self._buffer = ""
         self._pos = 0  # scan offset into _buffer; compacted between feeds
@@ -210,6 +220,12 @@ class XmlTokenizer:
         self.diagnostics: list[StreamDiagnostic] = []
         #: Total number of recovery actions, including any beyond the cap.
         self.diagnostic_count = 0
+        #: Characters of XML text accepted by feed()/feed_into() so far
+        #: (str length — decoded characters, not encoded bytes).
+        self.bytes_fed = 0
+        self._metrics = metrics
+        if metrics is not None:
+            self._bind_metrics(metrics)
 
     # -- public API ---------------------------------------------------
 
@@ -231,6 +247,7 @@ class XmlTokenizer:
         """
         if self._closed:
             raise XmlSyntaxError("feed() after close()", self._cursor.line, self._cursor.column)
+        self.bytes_fed += len(chunk)
         self._pending.append(chunk)
         return self._pull_events()
 
@@ -244,6 +261,8 @@ class XmlTokenizer:
             # this caps what a single unterminated construct (one giant
             # tag, an unclosed CDATA section) can make us remember.
             self._limits.check("max_buffered_input", len(self._buffer) - self._pos)
+        if self._metrics is not None:
+            self._sync_metrics()
 
     def feed_into(self, chunk: str, handler) -> None:
         """Push-mode feed: scan ``chunk`` and drive ``handler`` callbacks.
@@ -258,6 +277,7 @@ class XmlTokenizer:
         """
         if self._closed:
             raise XmlSyntaxError("feed() after close()", self._cursor.line, self._cursor.column)
+        self.bytes_fed += len(chunk)
         self._pending.append(chunk)
         self._merge_pending()
         try:
@@ -266,6 +286,8 @@ class XmlTokenizer:
             self._compact()
         if self._limits is not None:
             self._limits.check("max_buffered_input", len(self._buffer))
+        if self._metrics is not None:
+            self._sync_metrics()
 
     def close_into(self, handler) -> None:
         """Push-mode :meth:`close`: deliver final events to ``handler``.
@@ -323,6 +345,8 @@ class XmlTokenizer:
             self._diagnose("document contains no element", ACTION_SKIPPED)
         for _ in events:
             self._note_event()
+        if self._metrics is not None:
+            self._sync_metrics()
         return events
 
     # -- checkpointing -------------------------------------------------
@@ -352,6 +376,7 @@ class XmlTokenizer:
             "ignore_depth": self._ignore_depth,
             "event_count": self._event_count,
             "diagnostic_count": self.diagnostic_count,
+            "bytes_fed": self.bytes_fed,
         }
 
     @classmethod
@@ -360,6 +385,7 @@ class XmlTokenizer:
         state: dict,
         on_diagnostic: Callable[[StreamDiagnostic], None] | None = None,
         limits: ResourceLimits | None = None,
+        metrics=None,
     ) -> "XmlTokenizer":
         """Rebuild a tokenizer from a :meth:`snapshot` capture."""
         version = state.get("version")
@@ -373,6 +399,7 @@ class XmlTokenizer:
             policy=state["policy"],
             on_diagnostic=on_diagnostic,
             limits=limits,
+            metrics=metrics,
         )
         tokenizer._buffer = state["buffer"]
         tokenizer._text_parts = list(state["text_parts"])
@@ -386,6 +413,9 @@ class XmlTokenizer:
         tokenizer._ignore_depth = state["ignore_depth"]
         tokenizer._event_count = state["event_count"]
         tokenizer.diagnostic_count = state["diagnostic_count"]
+        # Absent in pre-observability snapshots (same schema version:
+        # the key is additive and optional).
+        tokenizer.bytes_fed = state.get("bytes_fed", 0)
         return tokenizer
 
     # -- recovery / accounting ----------------------------------------
@@ -417,6 +447,46 @@ class XmlTokenizer:
         self._event_count += 1
         if self._limits is not None:
             self._limits.check("max_total_events", self._event_count)
+
+    # -- metrics -------------------------------------------------------
+
+    def _bind_metrics(self, metrics) -> None:
+        self._m_bytes = metrics.counter(
+            "repro_tokenizer_bytes_total",
+            "Characters of XML text fed (str length, not encoded bytes).",
+        )
+        self._m_events = metrics.counter(
+            "repro_tokenizer_events_total",
+            "Modified-SAX events produced by the tokenizer.",
+        )
+        self._m_recovery = metrics.counter(
+            "repro_tokenizer_recovery_actions_total",
+            "Recovery actions taken under lenient policies.",
+        )
+        self._m_depth = metrics.gauge(
+            "repro_tokenizer_depth", "Current element nesting depth."
+        )
+        # Totals already published; the authoritative counts live on the
+        # tokenizer (and ride through snapshots), so publishing deltas
+        # makes the registry additive across tokenizers and restores.
+        self._reported = [0, 0, 0]
+
+    def _sync_metrics(self) -> None:
+        """Publish counter deltas accumulated since the last sync."""
+        reported = self._reported
+        delta = self.bytes_fed - reported[0]
+        if delta:
+            self._m_bytes.inc(delta)
+            reported[0] = self.bytes_fed
+        delta = self._event_count - reported[1]
+        if delta:
+            self._m_events.inc(delta)
+            reported[1] = self._event_count
+        delta = self.diagnostic_count - reported[2]
+        if delta:
+            self._m_recovery.inc(delta)
+            reported[2] = self.diagnostic_count
+        self._m_depth.set(len(self._stack))
 
     # -- scanning -----------------------------------------------------
 
@@ -1088,6 +1158,7 @@ def parse_string(
     policy: "str | RecoveryPolicy" = RecoveryPolicy.STRICT,
     on_diagnostic: Callable[[StreamDiagnostic], None] | None = None,
     limits: ResourceLimits | None = None,
+    metrics=None,
 ) -> Iterator[Event]:
     """Tokenize a complete XML document held in a string."""
     tokenizer = XmlTokenizer(
@@ -1095,6 +1166,7 @@ def parse_string(
         policy=policy,
         on_diagnostic=on_diagnostic,
         limits=limits,
+        metrics=metrics,
     )
     yield from tokenizer.feed(text)
     yield from tokenizer.close()
@@ -1107,6 +1179,7 @@ def parse_chunks(
     policy: "str | RecoveryPolicy" = RecoveryPolicy.STRICT,
     on_diagnostic: Callable[[StreamDiagnostic], None] | None = None,
     limits: ResourceLimits | None = None,
+    metrics=None,
 ) -> Iterator[Event]:
     """Tokenize XML arriving as an iterable of text chunks."""
     tokenizer = XmlTokenizer(
@@ -1114,6 +1187,7 @@ def parse_chunks(
         policy=policy,
         on_diagnostic=on_diagnostic,
         limits=limits,
+        metrics=metrics,
     )
     for chunk in chunks:
         yield from tokenizer.feed(chunk)
@@ -1128,13 +1202,14 @@ def parse_file(
     policy: "str | RecoveryPolicy" = RecoveryPolicy.STRICT,
     on_diagnostic: Callable[[StreamDiagnostic], None] | None = None,
     limits: ResourceLimits | None = None,
+    metrics=None,
 ) -> Iterator[Event]:
     """Tokenize a file path or text file object, reading incrementally."""
     if hasattr(source, "read"):
-        yield from _parse_stream(source, skip_whitespace, chunk_size, policy, on_diagnostic, limits)  # type: ignore[arg-type]
+        yield from _parse_stream(source, skip_whitespace, chunk_size, policy, on_diagnostic, limits, metrics)  # type: ignore[arg-type]
         return
     with open(source, "r", encoding="utf-8") as handle:
-        yield from _parse_stream(handle, skip_whitespace, chunk_size, policy, on_diagnostic, limits)
+        yield from _parse_stream(handle, skip_whitespace, chunk_size, policy, on_diagnostic, limits, metrics)
 
 
 def _parse_stream(
@@ -1144,12 +1219,14 @@ def _parse_stream(
     policy: "str | RecoveryPolicy" = RecoveryPolicy.STRICT,
     on_diagnostic: Callable[[StreamDiagnostic], None] | None = None,
     limits: ResourceLimits | None = None,
+    metrics=None,
 ) -> Iterator[Event]:
     tokenizer = XmlTokenizer(
         skip_whitespace=skip_whitespace,
         policy=policy,
         on_diagnostic=on_diagnostic,
         limits=limits,
+        metrics=metrics,
     )
     while True:
         chunk = handle.read(chunk_size)
@@ -1166,6 +1243,7 @@ def events_from(
     policy: "str | RecoveryPolicy" = RecoveryPolicy.STRICT,
     on_diagnostic: Callable[[StreamDiagnostic], None] | None = None,
     limits: ResourceLimits | None = None,
+    metrics=None,
 ) -> Iterator[Event]:
     """Dispatch to the right parser for ``source``.
 
@@ -1173,7 +1251,7 @@ def events_from(
     file, an iterable of chunks, or an iterable of events (returned
     as-is; recovery options do not apply to pre-built event streams).
     """
-    options = dict(policy=policy, on_diagnostic=on_diagnostic, limits=limits)
+    options = dict(policy=policy, on_diagnostic=on_diagnostic, limits=limits, metrics=metrics)
     if isinstance(source, str):
         if "<" in source:
             return parse_string(source, skip_whitespace, **options)

@@ -1,0 +1,65 @@
+"""Docs stay truthful: mirrors ``ci/docs_check.py`` inside the suite.
+
+The CI gate script is imported (not reimplemented) so the suite and CI
+can never disagree about what counts as a broken link or a dangling
+API reference.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_docs_check():
+    spec = importlib.util.spec_from_file_location(
+        "docs_check", ROOT / "ci" / "docs_check.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+docs_check = _load_docs_check()
+
+
+@pytest.mark.parametrize(
+    "path", docs_check.doc_files(ROOT), ids=lambda p: str(p.relative_to(ROOT))
+)
+def test_relative_links_resolve(path):
+    assert docs_check.check_links(path, ROOT) == []
+
+
+@pytest.mark.parametrize(
+    "path", docs_check.doc_files(ROOT), ids=lambda p: str(p.relative_to(ROOT))
+)
+def test_dotted_api_references_resolve(path):
+    assert docs_check.check_symbols(path, ROOT) == []
+
+
+def test_checker_spots_a_broken_link(tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text("see [missing](./nope.md) and [ok](doc.md)",
+                   encoding="utf-8")
+    failures = docs_check.check_links(doc, tmp_path)
+    assert len(failures) == 1 and "nope.md" in failures[0]
+
+
+def test_checker_spots_a_dangling_symbol(tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text("use `repro.no_such_module.Thing`", encoding="utf-8")
+    failures = docs_check.check_symbols(doc, tmp_path)
+    assert len(failures) == 1 and "repro.no_such_module.Thing" in failures[0]
+
+
+def test_checker_accepts_urls_and_anchors(tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text(
+        "[a](https://example.com) [b](#section) [c](mailto:x@example.com)",
+        encoding="utf-8",
+    )
+    assert docs_check.check_links(doc, tmp_path) == []

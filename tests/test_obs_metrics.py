@@ -1,0 +1,113 @@
+"""repro.obs.metrics: registry semantics and exposition formats."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    NullRegistry,
+)
+
+
+def test_counter_inc_and_labels():
+    registry = MetricsRegistry()
+    counter = registry.counter("repro_x_total", "things")
+    counter.inc()
+    counter.inc(4, engine="twigm")
+    assert counter.get() == 1
+    assert counter.get(engine="twigm") == 4
+
+
+def test_gauge_set_and_dec():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("repro_depth", "depth")
+    gauge.set(7)
+    gauge.dec(2)
+    assert gauge.get() == 5
+
+
+def test_histogram_buckets_cumulative():
+    registry = MetricsRegistry()
+    hist = registry.histogram("repro_h_seconds", "latency", buckets=(0.1, 1.0))
+    hist.observe(0.05)
+    hist.observe(0.5)
+    hist.observe(5.0)
+    snap = registry.snapshot()["repro_h_seconds"]
+    assert snap["buckets"]["0.1"] == 1
+    assert snap["buckets"]["1"] == 2  # cumulative
+    assert snap["buckets"]["+Inf"] == 3
+    assert snap["count"] == 3
+    assert snap["sum"] == pytest.approx(5.55)
+
+
+def test_same_name_same_family():
+    registry = MetricsRegistry()
+    a = registry.counter("repro_x_total", "things")
+    b = registry.counter("repro_x_total", "things")
+    assert a is b
+
+
+def test_kind_conflict_raises():
+    registry = MetricsRegistry()
+    registry.counter("repro_x_total", "things")
+    with pytest.raises(ValueError):
+        registry.gauge("repro_x_total", "things")
+
+
+def test_render_prometheus_shape():
+    registry = MetricsRegistry()
+    registry.counter("repro_x_total", 'escape "me" \\ here').inc(2, q="a\nb")
+    text = registry.render_prometheus()
+    assert "# HELP repro_x_total" in text
+    assert "# TYPE repro_x_total counter" in text
+    assert 'repro_x_total{q="a\\nb"} 2' in text
+    assert text.endswith("\n")
+
+
+def test_render_prometheus_histogram_suffixes():
+    registry = MetricsRegistry()
+    registry.histogram("repro_h_seconds", "h", buckets=(1.0,)).observe(0.5)
+    text = registry.render_prometheus()
+    assert 'repro_h_seconds_bucket{le="1"} 1' in text
+    assert 'repro_h_seconds_bucket{le="+Inf"} 1' in text
+    assert "repro_h_seconds_sum 0.5" in text
+    assert "repro_h_seconds_count 1" in text
+
+
+def test_render_json_loads():
+    registry = MetricsRegistry()
+    registry.counter("repro_x_total", "things").inc(3)
+    loaded = json.loads(registry.render_json())
+    assert loaded["repro_x_total"]["values"][0]["value"] == 3
+
+
+def test_collectors_run_before_snapshot():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("repro_live", "live")
+    registry.add_collector(lambda: gauge.set(42))
+    assert registry.snapshot()["repro_live"]["values"][0]["value"] == 42
+
+
+def test_watch_receives_snapshots_on_tick():
+    registry = MetricsRegistry()
+    registry.counter("repro_x_total", "things").inc()
+    seen = []
+    registry.watch(seen.append)
+    registry.tick()
+    registry.tick()
+    assert len(seen) == 2
+    assert "repro_x_total" in seen[0]
+
+
+def test_null_registry_is_inert():
+    assert isinstance(NULL_REGISTRY, NullRegistry)
+    assert not NULL_REGISTRY.enabled
+    counter = NULL_REGISTRY.counter("repro_x_total", "things")
+    counter.inc(10)
+    assert counter.get() == 0
+    assert NULL_REGISTRY.render_prometheus() == ""
+    assert json.loads(NULL_REGISTRY.render_json()) == {}

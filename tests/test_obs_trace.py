@@ -1,0 +1,86 @@
+"""repro.obs.trace: span nesting and Chrome trace_event output."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.trace import Tracer
+
+
+def fake_clock(times):
+    """A deterministic monotonic clock fed from a list of seconds.
+
+    The first value is consumed by the tracer's origin reading at
+    construction time.
+    """
+    iterator = iter(times)
+    return lambda: next(iterator)
+
+
+def test_begin_end_pairs_and_timestamps():
+    tracer = Tracer(clock=fake_clock([0.0, 0.0, 0.002]))
+    tracer.begin("parse", size=10)
+    tracer.end(events=3)
+    begin, end = tracer.events
+    assert begin["ph"] == "B" and begin["name"] == "parse"
+    assert begin["ts"] == 0 and end["ts"] == pytest.approx(2000)  # µs
+    assert begin["args"] == {"size": 10}
+    assert end["args"] == {"events": 3}
+
+
+def test_span_context_manager_closes_on_error():
+    tracer = Tracer()
+    with pytest.raises(RuntimeError):
+        with tracer.span("chunk"):
+            raise RuntimeError("boom")
+    assert not tracer.open_spans
+    assert [event["ph"] for event in tracer.events] == ["B", "E"]
+
+
+def test_end_without_begin_raises():
+    tracer = Tracer()
+    with pytest.raises(ValueError):
+        tracer.end()
+
+
+def test_nested_durations():
+    tracer = Tracer(clock=fake_clock([0.0, 0.0, 0.0, 0.010, 0.030]))
+    tracer.begin("outer")
+    tracer.begin("inner")
+    tracer.end()
+    tracer.end()
+    assert tracer.durations("inner") == [pytest.approx(0.010)]
+    assert tracer.durations("outer") == [pytest.approx(0.030)]
+
+
+def test_instant_event():
+    tracer = Tracer()
+    tracer.instant("emit", new=2)
+    (event,) = tracer.events
+    assert event["ph"] == "i"
+    assert event["args"] == {"new": 2}
+
+
+def test_chrome_trace_structure_and_dump(tmp_path):
+    tracer = Tracer()
+    with tracer.span("chunk", index=0):
+        tracer.instant("emit")
+    payload = tracer.to_chrome_trace()
+    assert set(payload) >= {"traceEvents", "displayTimeUnit"}
+    for event in payload["traceEvents"]:
+        assert set(event) >= {"name", "cat", "ph", "ts", "pid", "tid"}
+        assert isinstance(event["ts"], int)
+    out = tmp_path / "trace.json"
+    tracer.dump(out)
+    assert json.loads(out.read_text())["traceEvents"] == payload["traceEvents"]
+
+
+def test_timestamps_are_monotonic():
+    tracer = Tracer()
+    for index in range(5):
+        with tracer.span("chunk", index=index):
+            pass
+    stamps = [event["ts"] for event in tracer.events]
+    assert stamps == sorted(stamps)

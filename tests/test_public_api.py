@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.multiq",
     "repro.xpath",
     "repro.stream",
+    "repro.obs",
     "repro.baselines",
     "repro.datasets",
     "repro.bench",
