@@ -3,7 +3,7 @@
 PYTHON ?= python3
 PROFILE ?= small
 
-.PHONY: install test robustness bench multiq perf obs docs figures examples clean
+.PHONY: install test robustness bench multiq perf obs serve docs figures examples clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -27,6 +27,9 @@ perf:
 
 obs:
 	$(PYTHON) ci/obs_smoke.py
+
+serve:
+	$(PYTHON) ci/serve_soak.py
 
 docs:
 	$(PYTHON) ci/docs_check.py

@@ -1,10 +1,18 @@
 """CI smoke: the full pipeline under repair + tight resource limits.
 
-Runs 500 seeded corruption campaigns through XPathStream with a
-deliberately tight ResourceLimits profile.  Three outcomes are
-acceptable per seed: a clean result, a clean result after recovery
-(with diagnostics), or a ResourceLimitError.  Anything else — any other
-exception, a hang, unbounded growth — fails the build.
+Runs seeded corruption campaigns through XPathStream with a
+deliberately tight ResourceLimits profile — through **both** text
+entrypoints:
+
+* the pull path (``feed_text``: tokenizer → event objects → machine);
+* the fused push path (``feed_text_push``: regex scanner → direct
+  machine dispatch, no event objects) — the path serving sessions and
+  the perf pipeline ride.
+
+Three outcomes are acceptable per seed: a clean result, a clean result
+after recovery (with diagnostics), or a ResourceLimitError.  Anything
+else — any other exception, a hang, unbounded growth, or the two paths
+disagreeing on a clean parse — fails the build.
 
 Usage: PYTHONPATH=src python ci/fault_smoke.py [seeds]
 """
@@ -26,6 +34,8 @@ DOCUMENT = (
     + "<note><![CDATA[raw <markup>]]></note></catalog>"
 )
 
+QUERY = "//book[price]//title"
+
 TIGHT = ResourceLimits(
     max_depth=16,
     max_attributes=8,
@@ -36,35 +46,71 @@ TIGHT = ResourceLimits(
     max_total_events=10_000,
 )
 
+#: Sentinel result meaning "this campaign tripped a resource limit".
+_LIMITED = object()
+
+
+def _campaign(seed: int, push: bool, diagnostics: list):
+    """One seeded corruption campaign; returns ids, _LIMITED, or raises."""
+    wrapped = FaultyChunks(DOCUMENT, seed=seed, faults=1 + seed % 5)
+    stream = XPathStream(
+        QUERY,
+        policy="repair",
+        on_diagnostic=diagnostics.append,
+        limits=TIGHT,
+    )
+    feed = stream.feed_text_push if push else stream.feed_text
+    try:
+        for chunk in wrapped:
+            feed(chunk)
+        return stream.close(), wrapped
+    except ResourceLimitError:
+        return _LIMITED, wrapped
+
 
 def main(seeds: int) -> int:
     limited = 0
     recovered = 0
+    diverged = 0
     for seed in range(seeds):
-        wrapped = FaultyChunks(DOCUMENT, seed=seed, faults=1 + seed % 5)
-        diagnostics = []
-        stream = XPathStream(
-            "//book[price]//title",
-            policy="repair",
-            on_diagnostic=diagnostics.append,
-            limits=TIGHT,
-        )
-        try:
-            for chunk in wrapped:
-                stream.feed_text(chunk)
-            ids = stream.close()
-        except ResourceLimitError:
-            limited += 1
-            continue
-        except Exception as exc:  # noqa: BLE001 - the point of the smoke
-            print(f"FAIL seed={seed} {wrapped!r}: {type(exc).__name__}: {exc}")
-            return 1
-        if diagnostics:
-            recovered += 1
-        assert all(isinstance(i, int) for i in ids), seed
+        outcomes = {}
+        for push in (False, True):
+            label = "push" if push else "pull"
+            diagnostics: list = []
+            try:
+                ids, wrapped = _campaign(seed, push, diagnostics)
+            except Exception as exc:  # noqa: BLE001 - the point of the smoke
+                print(
+                    f"FAIL seed={seed} path={label}: "
+                    f"{type(exc).__name__}: {exc}"
+                )
+                return 1
+            if ids is _LIMITED:
+                limited += 1
+                continue
+            if diagnostics:
+                recovered += 1
+            assert all(isinstance(i, int) for i in ids), (seed, label)
+            outcomes[label] = (ids, bool(diagnostics))
+        # When neither path needed repair, they saw the same bytes and
+        # must agree exactly.  (Repairs may legitimately differ: the
+        # two tokenizer paths resynchronise at different granularity.)
+        if len(outcomes) == 2:
+            (pull_ids, pull_repaired) = outcomes["pull"]
+            (push_ids, push_repaired) = outcomes["push"]
+            if not pull_repaired and not push_repaired:
+                if pull_ids != push_ids:
+                    print(
+                        f"FAIL seed={seed}: clean pull/push divergence "
+                        f"{pull_ids} != {push_ids}"
+                    )
+                    return 1
+            elif pull_ids != push_ids:
+                diverged += 1
     print(
-        f"ok: {seeds} corruption campaigns "
-        f"({recovered} recovered, {limited} resource-limited, 0 crashes)"
+        f"ok: {seeds} corruption campaigns x 2 paths "
+        f"({recovered} recovered, {limited} resource-limited, "
+        f"{diverged} repair-path divergences, 0 crashes)"
     )
     return 0
 

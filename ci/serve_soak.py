@@ -1,0 +1,325 @@
+"""CI gate: the serving layer under concurrent, hostile load.
+
+Two drills, both judged by the only property that matters — every
+session's results must be **byte-identical** to a single-stream
+:class:`repro.core.processor.XPathStream` reference, no matter what
+the network and the processes did in between:
+
+1. **Concurrent soak** — ``SESSIONS`` clients stream an XMark document
+   into one :class:`repro.serve.server.SessionServer` at once, across
+   several tenants, priorities, and chunk sizes.  A third of the
+   clients corrupt their own frames (seeded, probabilistic — the CRC
+   catches them and the client resumes from the last checkpoint), and
+   a third are killed mid-stream and restarted (reconnect-resume with
+   the same token).
+2. **Sharded kill** — a :class:`repro.serve.server.ShardedServer` with
+   two worker processes takes a smaller fleet; once sessions are in
+   flight, the worker holding the first client's shard is SIGKILLed.
+   The supervisor restarts it, and every interrupted session resumes
+   from the shared disk spool to an unchanged result stream.
+
+Shed/resume counts and the server-side p99 chunk latency (from the
+``repro_serve_chunk_seconds`` histogram) are written to
+``BENCH_serve.json`` so the serving trajectory is recorded per commit.
+
+Run from the repo root (the spawn-context workers re-import this
+module, hence the ``__main__`` guard)::
+
+    PYTHONPATH=src python ci/serve_soak.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import random
+import signal
+import socket
+import sys
+import time
+
+from repro.core.processor import XPathStream
+from repro.datasets.xmark import xmark_events
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.client import ServeClient
+from repro.serve.server import SessionServer, ShardedServer, shard_for_token
+from repro.serve.session import ServeConfig
+from repro.stream.writer import events_to_string
+
+SESSIONS = 64
+SHARDED_SESSIONS = 8
+SHARDS = 2
+SCALE = 6.0
+SEED = 20060814
+CORRUPT_RATE = 0.04
+KILL_AT_SEQ = 10
+REPORT = "BENCH_serve.json"
+
+#: Standing queries drawn from the XMark benchmark set; each session
+#: registers one or two of them.
+QUERIES = {
+    "items": "//regions//item/name",
+    "people": "/site/people/person[@id]/name",
+    "reserves": "//open_auction[bidder/personref]//reserve",
+    "text": "//description//listitem//text",
+}
+
+
+def references(xml: str) -> dict:
+    out = {}
+    for name, query in QUERIES.items():
+        stream = XPathStream(query)
+        stream.feed_text(xml)
+        out[name] = stream.close()
+    return out
+
+
+def chunked(xml: str, size: int) -> list:
+    return [xml[i:i + size] for i in range(0, len(xml), size)]
+
+
+def make_mangler(rng: random.Random, counter: list):
+    """Flip one byte of an outgoing write with probability CORRUPT_RATE.
+
+    Probabilistic, not periodic: a fixed every-Nth-write mangler can
+    phase-lock with the writes-per-attempt cycle and corrupt the first
+    frame of every resume forever.
+    """
+
+    def mangle(data: bytes) -> bytes:
+        if len(data) > 60 and rng.random() < CORRUPT_RATE:
+            i = rng.randrange(20, len(data))
+            counter[0] += 1
+            return data[:i] + bytes([data[i] ^ 0xFF]) + data[i + 1:]
+        return data
+
+    return mangle
+
+
+async def drive(client: ServeClient, chunks: list, kill_at: "int | None",
+                kills: list) -> dict:
+    """Run one client; optionally kill and restart it mid-stream."""
+    if kill_at is not None:
+        task = asyncio.ensure_future(client.run(chunks))
+        deadline = time.monotonic() + 60
+        while (client.last_seq < kill_at and not task.done()
+               and time.monotonic() < deadline):
+            await asyncio.sleep(0.002)
+        if task.done():
+            return task.result()
+        task.cancel()
+        try:
+            await task
+        except asyncio.CancelledError:
+            pass
+        kills[0] += 1
+    return await client.run(chunks)
+
+
+def histogram_p99(metrics: MetricsRegistry) -> "float | None":
+    """Upper-bound estimate of the 99th percentile chunk latency."""
+    histogram = metrics.get("repro_serve_chunk_seconds")
+    if histogram is None or histogram.count == 0:
+        return None
+    target = 0.99 * histogram.count
+    cumulative = 0
+    for bound, count in zip(histogram.buckets, histogram._counts):
+        cumulative += count
+        if cumulative >= target:
+            return bound
+    return float("inf")
+
+
+async def concurrent_soak(xml: str, expected: dict) -> "tuple[dict, list]":
+    metrics = MetricsRegistry()
+    config = ServeConfig(
+        port=0, checkpoint_interval=2, retry_after=0.05, queue_depth=6,
+        max_sessions=2 * SESSIONS, max_sessions_per_tenant=SESSIONS,
+        idle_timeout=30.0,
+    )
+    server = SessionServer(config, metrics=metrics)
+    await server.start()
+
+    seeder = random.Random(SEED)
+    corrupted = [0]
+    kills = [0]
+    names = sorted(QUERIES)
+    clients, jobs = [], []
+    for i in range(SESSIONS):
+        mine = {names[i % 4]: QUERIES[names[i % 4]],
+                names[(i + 1) % 4]: QUERIES[names[(i + 1) % 4]]}
+        mangle = make_mangler(random.Random(SEED + i), corrupted) \
+            if i % 3 == 0 else None
+        client = ServeClient(
+            "127.0.0.1", server.port, mine,
+            tenant=f"tenant-{i % 8}", priority=i % 3,
+            rack_every=16, max_attempts=80,
+            backoff_base=0.01, backoff_cap=0.25,
+            rng=random.Random(SEED ^ i), mangle=mangle,
+        )
+        clients.append(client)
+        kill_at = KILL_AT_SEQ + seeder.randrange(20) if i % 3 == 1 else None
+        jobs.append(drive(client, chunked(xml, 1024 + 97 * (i % 13)),
+                          kill_at, kills))
+
+    started = time.monotonic()
+    await asyncio.gather(*jobs)
+    wall = time.monotonic() - started
+    shed = server.shedder.shed
+    rejected = server.shedder.rejected
+    await server.stop()
+
+    failures = []
+    for i, client in enumerate(clients):
+        for name in client.queries:
+            if client.result_ids(name) != expected[name]:
+                failures.append(f"session {i} query {name!r} diverged")
+
+    report = {
+        "sessions": SESSIONS,
+        "document_chars": len(xml),
+        "corrupted_frames": corrupted[0],
+        "client_kills": kills[0],
+        "resumes": sum(c.resumes for c in clients),
+        "attempts": sum(c.attempts for c in clients),
+        "shed": shed,
+        "rejected": rejected,
+        "p99_chunk_seconds": histogram_p99(metrics),
+        "chunks_observed": metrics.get("repro_serve_chunk_seconds").count,
+        "wall_seconds": round(wall, 3),
+    }
+    return report, failures
+
+
+def free_port_block(count: int) -> int:
+    """A base port whose block [base, base+count] is currently free."""
+    rng = random.Random()
+    for _ in range(50):
+        base = rng.randrange(20000, 50000)
+        try:
+            socks = []
+            for offset in range(count + 1):
+                sock = socket.socket()
+                sock.bind(("127.0.0.1", base + offset))
+                socks.append(sock)
+        except OSError:
+            continue
+        finally:
+            for sock in socks:
+                sock.close()
+        return base
+    raise RuntimeError("no free port block found")
+
+
+async def sharded_kill(xml: str, expected: dict) -> "tuple[dict, list]":
+    config = ServeConfig(
+        port=free_port_block(SHARDS), shards=SHARDS,
+        checkpoint_interval=1, retry_after=0.05,
+    )
+    server = ShardedServer(config)
+    await server.start()
+
+    clients = [
+        ServeClient(
+            "127.0.0.1", config.port, {"items": QUERIES["items"]},
+            tenant=f"tenant-{i}", rack_every=8, max_attempts=80,
+            backoff_base=0.02, backoff_cap=0.5, rng=random.Random(SEED + i),
+        )
+        for i in range(SHARDED_SESSIONS)
+    ]
+
+    sigkills = [0]
+
+    async def assassin() -> None:
+        # wait until the fleet is streaming, then SIGKILL the worker
+        # that owns the first client's shard — mid-stream, no warning
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            leader = clients[0]
+            if leader.token and leader.last_seq >= KILL_AT_SEQ:
+                shard = shard_for_token(leader.token, SHARDS)
+                pid = server.worker_pid(shard)
+                if pid is not None:
+                    os.kill(pid, signal.SIGKILL)
+                    sigkills[0] += 1
+                return
+            await asyncio.sleep(0.005)
+
+    started = time.monotonic()
+    killer = asyncio.ensure_future(assassin())
+    await asyncio.gather(*(
+        client.run(chunked(xml, 1500)) for client in clients
+    ))
+    wall = time.monotonic() - started
+    killer.cancel()
+    restarts = server.restarts
+    await server.stop()
+
+    failures = []
+    for i, client in enumerate(clients):
+        if client.result_ids("items") != expected["items"]:
+            failures.append(f"sharded session {i} diverged")
+    if sigkills[0] == 0:
+        failures.append("assassin never fired — sharded drill is vacuous")
+    if restarts < 1:
+        failures.append("supervisor recorded no worker restart")
+
+    report = {
+        "sessions": SHARDED_SESSIONS,
+        "shards": SHARDS,
+        "worker_sigkills": sigkills[0],
+        "supervisor_restarts": restarts,
+        "resumes": sum(c.resumes for c in clients),
+        "attempts": sum(c.attempts for c in clients),
+        "wall_seconds": round(wall, 3),
+    }
+    return report, failures
+
+
+def main() -> int:
+    xml = events_to_string(xmark_events(SCALE))
+    expected = references(xml)
+    print(f"serve soak: XMark scale {SCALE} ({len(xml)} chars), "
+          f"{len(QUERIES)} queries, "
+          f"{ {n: len(ids) for n, ids in expected.items()} }")
+
+    report_a, failures = asyncio.run(concurrent_soak(xml, expected))
+    print(f"  concurrent: {report_a['sessions']} sessions in "
+          f"{report_a['wall_seconds']}s — {report_a['corrupted_frames']} "
+          f"corrupted frames, {report_a['client_kills']} client kills, "
+          f"{report_a['resumes']} resumes, {report_a['shed']} shed, "
+          f"p99 chunk {report_a['p99_chunk_seconds']}s")
+
+    report_b, sharded_failures = asyncio.run(sharded_kill(xml, expected))
+    failures += sharded_failures
+    print(f"  sharded: {report_b['sessions']} sessions over "
+          f"{report_b['shards']} workers in {report_b['wall_seconds']}s — "
+          f"{report_b['worker_sigkills']} SIGKILL, "
+          f"{report_b['supervisor_restarts']} restarts, "
+          f"{report_b['resumes']} resumes")
+
+    if report_a["corrupted_frames"] == 0:
+        failures.append("no frame was corrupted — corruption drill vacuous")
+    if report_a["client_kills"] == 0:
+        failures.append("no client was killed — kill drill vacuous")
+    if report_a["resumes"] == 0:
+        failures.append("no session resumed — resume path unexercised")
+
+    with open(REPORT, "w", encoding="utf-8") as handle:
+        json.dump({"concurrent": report_a, "sharded": report_b},
+                  handle, indent=2)
+        handle.write("\n")
+    print(f"  report written to {REPORT}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print("serve soak: all sessions byte-identical under corruption, "
+          "client kills, and a worker SIGKILL")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

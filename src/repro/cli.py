@@ -85,6 +85,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.multiq.cli import main as multiq_main
 
         return multiq_main(argv[1:])
+    if argv and argv[0] == "serve":
+        # ``python -m repro serve ...`` — the fault-tolerant async
+        # serving layer's front end (repro.serve.cli).
+        from repro.serve.cli import main as serve_main
+
+        return serve_main(argv[1:])
     if argv and argv[0] == "stats":
         # ``python -m repro stats QUERY FILE`` — one observed pass:
         # metrics exposition + stage tracing (repro.obs.cli).

@@ -64,6 +64,22 @@ class StreamStateError(ReproError):
     """An event sequence violating well-nesting or lifecycle rules."""
 
 
+#: Human description of what each :class:`~repro.stream.recovery.ResourceLimits`
+#: field bounds — appended to :class:`ResourceLimitError` messages so an
+#: operator reading a log (or a reject frame) knows what the input did
+#: without opening the source.
+LIMIT_DESCRIPTIONS = {
+    "max_depth": "element nesting depth",
+    "max_attributes": "attributes on one element",
+    "max_attribute_length": "characters in one attribute value",
+    "max_text_length": "characters in one text run",
+    "max_buffered_input": "unconsumed input buffered mid-construct",
+    "max_total_events": "events produced by the stream",
+    "max_buffered_candidates": "candidate ids buffered across machine stacks",
+    "max_result_backlog": "results buffered awaiting client acknowledgement",
+}
+
+
 class ResourceLimitError(ReproError):
     """Input exceeded a configured resource bound.
 
@@ -71,17 +87,42 @@ class ResourceLimitError(ReproError):
     recovery policy: limits are a protection boundary, and a document
     that trips one is rejected regardless of how forgiving the parse is.
 
-    Carries the ``limit`` field name, the ``configured`` bound, and the
-    ``observed`` value that crossed it.
+    Carries the ``limit`` field name, the ``configured`` bound, the
+    ``observed`` value that crossed it, and an optional ``context``
+    string saying where enforcement happened (e.g. a query name or a
+    session id).  The message spells all of them out, plus a human
+    description of what the limit bounds, so the error is actionable
+    from a log line alone; :meth:`to_dict` gives the same fields as a
+    JSON-serializable payload for protocol reject frames.
     """
 
-    def __init__(self, limit: str, configured: int, observed: int):
-        super().__init__(
-            f"resource limit {limit}={configured} exceeded (observed {observed})"
-        )
+    def __init__(
+        self,
+        limit: str,
+        configured: int,
+        observed: int,
+        context: "str | None" = None,
+    ):
+        description = LIMIT_DESCRIPTIONS.get(limit)
+        message = f"resource limit {limit}={configured} exceeded (observed {observed}"
+        message += f", bounds {description})" if description else ")"
+        if context:
+            message += f" while {context}"
+        super().__init__(message)
         self.limit = limit
         self.configured = configured
         self.observed = observed
+        self.context = context
+
+    def to_dict(self) -> dict:
+        """The structured fields as one JSON-serializable payload."""
+        return {
+            "limit": self.limit,
+            "configured": self.configured,
+            "observed": self.observed,
+            "description": LIMIT_DESCRIPTIONS.get(self.limit),
+            "context": self.context,
+        }
 
 
 class CheckpointError(ReproError):

@@ -288,6 +288,19 @@ class MetricsRegistry:
         if all(existing is not collector for existing in self._collectors):
             self._collectors.append(collector)
 
+    def remove_collector(self, collector: Callable[[], None]) -> None:
+        """Unregister a collector registered with :meth:`add_collector`.
+
+        Long-lived registries shared by short-lived components (serving
+        sessions, per-request engines) must detach their collectors on
+        teardown or every future scrape keeps the dead component — and
+        everything it references — alive.  Unknown collectors are
+        ignored, so teardown paths can call this unconditionally.
+        """
+        self._collectors = [
+            existing for existing in self._collectors if existing is not collector
+        ]
+
     def collect(self) -> None:
         """Run every registered collector (sync live components in)."""
         for collector in self._collectors:
@@ -395,6 +408,9 @@ class NullRegistry(MetricsRegistry):
         return _NULL_METRIC
 
     def add_collector(self, collector) -> None:
+        pass
+
+    def remove_collector(self, collector) -> None:
         pass
 
     def watch(self, watcher) -> None:

@@ -69,6 +69,9 @@ class PushPipeline:
         self._on_diagnostic = on_diagnostic
         self._limits = limits
         self.chunk_size = chunk_size
+        self._bind_observability(metrics, tracer)
+
+    def _bind_observability(self, metrics, tracer) -> None:
         self._metrics = metrics
         self._tracer = tracer
         if metrics is not None:
@@ -118,6 +121,69 @@ class PushPipeline:
             return list(stream.results)
         except AttributeError:  # on_match mode: delivered incrementally
             return []
+
+    # -- incremental (serving) API --------------------------------------
+
+    def feed(self, chunk: str) -> None:
+        """Incrementally feed one text chunk through the fused path.
+
+        The long-running-session face of the pipeline: unlike
+        :meth:`run` the machine is *not* reset, so chunks accumulate
+        into one logical document across calls — this is what a serving
+        session drives, checkpointing between chunks.  Don't mix with
+        :meth:`run` mid-document (``run`` resets the machine).
+        """
+        if self._metrics is None and self._tracer is None:
+            self.stream.feed_text_push(chunk)
+            return
+        if self._tracer is not None:
+            self._tracer.begin("push_chunk", size=len(chunk))
+        started = time.perf_counter()
+        self.stream.feed_text_push(chunk)
+        elapsed = time.perf_counter() - started
+        if self._tracer is not None:
+            self._tracer.end()
+        if self._metrics is not None:
+            self._m_chunk_seconds.observe(elapsed)
+            self._m_chunks.inc()
+            self._metrics.tick()
+
+    def finish(self) -> list[int]:
+        """Close an incremental feed; return the collected solution ids."""
+        return self.stream.close()
+
+    def snapshot(self) -> dict:
+        """Checkpoint the in-flight incremental evaluation.
+
+        Delegates to :meth:`XPathStream.snapshot` — machine stacks,
+        sink state, and the mid-parse tokenizer all ride along, so a
+        pipeline restored with :meth:`restore` resumes bit-exactly.
+        """
+        return self.stream.snapshot()
+
+    @classmethod
+    def restore(
+        cls,
+        snapshot: dict,
+        on_match: Callable[[int], None] | None = None,
+        on_diagnostic: Callable[[StreamDiagnostic], None] | None = None,
+        *,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        metrics=None,
+        tracer=None,
+    ) -> "PushPipeline":
+        """Rebuild a pipeline mid-document from a :meth:`snapshot`."""
+        stream = XPathStream.restore(
+            snapshot, on_match=on_match, on_diagnostic=on_diagnostic, metrics=metrics
+        )
+        pipeline = cls.__new__(cls)
+        pipeline.stream = stream
+        pipeline._policy = stream._policy
+        pipeline._on_diagnostic = on_diagnostic
+        pipeline._limits = stream._limits
+        pipeline.chunk_size = chunk_size
+        pipeline._bind_observability(metrics, tracer)
+        return pipeline
 
     def _run_observed(self, source, tokenizer, handler) -> None:
         """Timed variant of the chunk loop; only used when observing."""

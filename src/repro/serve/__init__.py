@@ -1,0 +1,74 @@
+"""Fault-tolerant async serving for streaming XPath evaluation.
+
+The serving layer turns the single-process engines into a multi-tenant
+network service without weakening any robustness guarantee the library
+already makes:
+
+* :mod:`repro.serve.framing` — length-prefixed, CRC-checked binary
+  frames (sans-IO encoder/decoder).
+* :mod:`repro.serve.session` — transport-free sessions: admission,
+  idempotent chunk evaluation, checkpoint/resume with an
+  unacknowledged-result log (exactly-once results across reconnects).
+* :mod:`repro.serve.shedding` — admission control and load-shedding
+  policy (pure bookkeeping, deterministic).
+* :mod:`repro.serve.server` — the asyncio worker (bounded queues =
+  TCP backpressure) and the sharded multi-process front (router,
+  supervisor, crash-tolerant checkpoint spool).
+* :mod:`repro.serve.client` — the client library: replay buffer,
+  reconnect-resume, capped exponential backoff with jitter.
+
+Run a server with ``python -m repro serve listen``; stream a document
+through it with ``python -m repro serve query``.
+"""
+
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.framing import (
+    DEFAULT_MAX_FRAME,
+    Frame,
+    FrameDecoder,
+    FrameError,
+    FrameType,
+    decode_data,
+    encode_data,
+    encode_frame,
+    encode_json,
+)
+from repro.serve.server import (
+    SessionServer,
+    ShardedServer,
+    shard_for_token,
+    worker_port,
+)
+from repro.serve.session import (
+    SESSION_CHECKPOINT_VERSION,
+    ServeConfig,
+    Session,
+    SessionRejected,
+    SessionStore,
+)
+from repro.serve.shedding import LoadShedder, SessionLoad
+
+__all__ = [
+    "DEFAULT_MAX_FRAME",
+    "Frame",
+    "FrameDecoder",
+    "FrameError",
+    "FrameType",
+    "LoadShedder",
+    "SESSION_CHECKPOINT_VERSION",
+    "ServeClient",
+    "ServeClientError",
+    "ServeConfig",
+    "Session",
+    "SessionLoad",
+    "SessionRejected",
+    "SessionServer",
+    "SessionStore",
+    "ShardedServer",
+    "decode_data",
+    "encode_data",
+    "encode_frame",
+    "encode_json",
+    "shard_for_token",
+    "worker_port",
+]

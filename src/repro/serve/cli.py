@@ -1,0 +1,188 @@
+"""The ``python -m repro serve`` front end.
+
+Two subcommands::
+
+    # serve standing queries over TCP (1 process, or sharded)
+    python -m repro serve listen --port 7600 --shards 4 --spool-dir /tmp/spool
+
+    # stream a document through a running server
+    python -m repro serve query '//book//title' catalog.xml --port 7600
+
+``listen`` with ``--shards 1`` runs a single in-process
+:class:`~repro.serve.server.SessionServer` (no router hop); more shards
+start the router + worker processes + supervisor
+(:class:`~repro.serve.server.ShardedServer`).
+
+``query`` is a thin wrapper over
+:class:`~repro.serve.client.ServeClient`: it streams the file in
+chunks, rides out any reconnects, and prints ``name<TAB>id`` lines in
+result order — the same output contract as ``twigm --queries``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+from repro.errors import ReproError
+from repro.serve.client import ServeClient
+from repro.serve.server import SessionServer, ShardedServer
+from repro.serve.session import ServeConfig
+from repro.stream.recovery import RecoveryPolicy
+
+__all__ = ["main"]
+
+DEFAULT_CHUNK_CHARS = 64 * 1024
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Fault-tolerant streaming XPath serving over TCP.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    listen = commands.add_parser("listen", help="run a serving endpoint")
+    listen.add_argument("--host", default="127.0.0.1")
+    listen.add_argument("--port", type=int, default=7600)
+    listen.add_argument(
+        "--shards", type=int, default=1,
+        help="worker processes (1 = in-process, no router)",
+    )
+    listen.add_argument(
+        "--policy",
+        choices=[p.value for p in RecoveryPolicy],
+        default=RecoveryPolicy.STRICT.value,
+        help="recovery policy for session input streams",
+    )
+    listen.add_argument(
+        "--checkpoint-interval", type=int, default=4, metavar="CHUNKS",
+        help="chunks between session checkpoints",
+    )
+    listen.add_argument(
+        "--idle-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="idle connections are checkpointed and dropped after this",
+    )
+    listen.add_argument(
+        "--max-sessions", type=int, default=256,
+        help="per-worker session ceiling",
+    )
+    listen.add_argument(
+        "--spool-dir", default=None, metavar="DIR",
+        help="directory for crash-tolerant checkpoint spooling",
+    )
+    listen.add_argument(
+        "--metrics", action="store_true",
+        help="print a metrics exposition on shutdown (single-shard only)",
+    )
+
+    query = commands.add_parser("query", help="stream a file through a server")
+    query.add_argument("query", help="the XPath query")
+    query.add_argument("source", help="XML file path, or '-' for stdin")
+    query.add_argument("--host", default="127.0.0.1")
+    query.add_argument("--port", type=int, default=7600)
+    query.add_argument("--tenant", default="default")
+    query.add_argument("--priority", type=int, default=0)
+    query.add_argument("--deadline-ms", type=int, default=None)
+    query.add_argument(
+        "--chunk-chars", type=int, default=DEFAULT_CHUNK_CHARS,
+        help="characters per DATA frame",
+    )
+    query.add_argument("--count", action="store_true",
+                       help="print only the solution count")
+    return parser
+
+
+async def _run_listen(args) -> int:
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        shards=max(args.shards, 1),
+        policy=args.policy,
+        checkpoint_interval=args.checkpoint_interval,
+        idle_timeout=args.idle_timeout,
+        max_sessions=args.max_sessions,
+        spool_dir=args.spool_dir,
+    )
+    if config.shards == 1:
+        metrics = None
+        if args.metrics:
+            from repro.obs.metrics import MetricsRegistry
+
+            metrics = MetricsRegistry()
+        server = SessionServer(config, metrics=metrics)
+        await server.start()
+        print(
+            f"serving on {config.host}:{server.port} (1 shard)",
+            file=sys.stderr,
+        )
+        try:
+            await server.serve_forever()
+        except (KeyboardInterrupt, asyncio.CancelledError):
+            pass
+        finally:
+            await server.stop()
+            if metrics is not None:
+                print(metrics.render_prometheus())
+        return 0
+    sharded = ShardedServer(config)
+    await sharded.start()
+    print(
+        f"router on {config.host}:{config.port}, "
+        f"{config.shards} worker shards",
+        file=sys.stderr,
+    )
+    try:
+        await asyncio.Event().wait()
+    except (KeyboardInterrupt, asyncio.CancelledError):
+        pass
+    finally:
+        await sharded.stop()
+    return 0
+
+
+async def _run_query(args) -> int:
+    if args.source == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.source, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    chunk = max(args.chunk_chars, 1)
+    chunks = [text[i:i + chunk] for i in range(0, len(text), chunk)] or [""]
+    client = ServeClient(
+        args.host,
+        args.port,
+        {"q": args.query},
+        tenant=args.tenant,
+        priority=args.priority,
+        deadline_ms=args.deadline_ms,
+    )
+    await client.run(chunks)
+    ids = client.result_ids("q")
+    if args.count:
+        print(len(ids))
+        return 0
+    for node_id in ids:
+        print(node_id)
+    return 0 if ids else 1
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "listen":
+            return asyncio.run(_run_listen(args))
+        return asyncio.run(_run_query(args))
+    except KeyboardInterrupt:
+        return 130
+    except ReproError as exc:
+        print(f"repro serve: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"repro serve: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,169 @@
+"""Admission control and load shedding for one serving worker.
+
+Overload policy, in one sentence: **refuse new work first, then shed
+the newest low-priority work, and always tell the client when to come
+back.**  Concretely:
+
+* :meth:`LoadShedder.admit` gates new sessions on the session ceiling,
+  the per-tenant ceiling, and the queued-input budget.  A refusal is
+  not an error — it returns a reject payload with a ``retry_after``
+  hint scaled by how far over budget the worker is, so well-behaved
+  clients back off proportionally instead of hammering.
+
+* :meth:`LoadShedder.victims` picks sessions to shed when budgets trip
+  *after* admission (queues grew under backpressure): lowest priority
+  first, and among equals the **newest** session first — the oldest
+  sessions have the most sunk evaluation work, so shedding them wastes
+  the most.  Shed sessions are checkpointed by the server before the
+  connection drops, so shedding costs the client a reconnect, never its
+  results.
+
+The shedder is pure bookkeeping — no clocks, no sockets — so the policy
+is unit-testable and deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.serve.session import ServeConfig
+
+__all__ = ["LoadShedder", "SessionLoad"]
+
+
+@dataclass
+class SessionLoad:
+    """Live load accounting for one registered session."""
+
+    token: str
+    tenant: str
+    priority: int
+    #: Admission order; higher = newer.
+    seq: int
+    #: Characters currently queued (received but not yet evaluated).
+    queued_chars: int = 0
+
+
+class LoadShedder:
+    """Budget tracking + victim selection for one worker process."""
+
+    def __init__(self, config: ServeConfig):
+        self.config = config
+        self._sessions: dict[str, SessionLoad] = {}
+        self._tenants: dict[str, int] = {}
+        self._seq = 0
+        self._queued_chars = 0
+        #: Cumulative counters for observability / BENCH reporting.
+        self.rejected = 0
+        self.shed = 0
+
+    # -- registration ----------------------------------------------------
+
+    def register(self, token: str, tenant: str, priority: int) -> SessionLoad:
+        self._seq += 1
+        load = SessionLoad(token, tenant, priority, self._seq)
+        self._sessions[token] = load
+        self._tenants[tenant] = self._tenants.get(tenant, 0) + 1
+        return load
+
+    def unregister(self, token: str) -> None:
+        load = self._sessions.pop(token, None)
+        if load is None:
+            return
+        self._queued_chars -= load.queued_chars
+        remaining = self._tenants.get(load.tenant, 0) - 1
+        if remaining > 0:
+            self._tenants[load.tenant] = remaining
+        else:
+            self._tenants.pop(load.tenant, None)
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    @property
+    def queued_chars(self) -> int:
+        return self._queued_chars
+
+    # -- queue accounting ------------------------------------------------
+
+    def add_queued(self, token: str, chars: int) -> None:
+        load = self._sessions.get(token)
+        if load is not None:
+            load.queued_chars += chars
+            self._queued_chars += chars
+
+    def drop_queued(self, token: str, chars: int) -> None:
+        load = self._sessions.get(token)
+        if load is not None:
+            load.queued_chars -= chars
+            self._queued_chars -= chars
+
+    # -- admission -------------------------------------------------------
+
+    def admit(self, tenant: str, priority: int) -> dict | None:
+        """``None`` when a new session fits; otherwise a reject payload."""
+        config = self.config
+        if len(self._sessions) >= config.max_sessions:
+            return self._refusal(
+                "session ceiling reached",
+                "over_sessions",
+                len(self._sessions) / config.max_sessions,
+            )
+        if self._tenants.get(tenant, 0) >= config.max_sessions_per_tenant:
+            return self._refusal(
+                f"tenant {tenant!r} session ceiling reached",
+                "over_tenant_sessions",
+                self._tenants[tenant] / config.max_sessions_per_tenant,
+            )
+        if self._queued_chars >= config.max_queued_chars:
+            return self._refusal(
+                "queued-input budget exhausted",
+                "over_queue_budget",
+                self._queued_chars / config.max_queued_chars,
+            )
+        return None
+
+    def _refusal(self, reason: str, code: str, pressure: float) -> dict:
+        self.rejected += 1
+        return {
+            "code": code,
+            "reason": reason,
+            "retry_after": round(self.config.retry_after * max(1.0, pressure), 3),
+        }
+
+    # -- shedding --------------------------------------------------------
+
+    def victims(self) -> "list[SessionLoad]":
+        """Sessions to shed, in shedding order, until budgets are met.
+
+        Empty when the worker is within budget.  Order: lowest priority
+        first, newest first among equals.  A single highest-priority
+        oldest session is never shed on the queue budget alone — someone
+        must make progress for queues to drain.
+        """
+        config = self.config
+        over_sessions = len(self._sessions) - config.max_sessions
+        over_chars = self._queued_chars - config.max_queued_chars
+        if over_sessions <= 0 and over_chars <= 0:
+            return []
+        candidates = sorted(
+            self._sessions.values(), key=lambda s: (s.priority, -s.seq)
+        )
+        picked: list[SessionLoad] = []
+        for load in candidates[:-1]:  # always spare the strongest survivor
+            if over_sessions <= 0 and over_chars <= 0:
+                break
+            picked.append(load)
+            over_sessions -= 1
+            over_chars -= load.queued_chars
+        self.shed += len(picked)
+        return picked
+
+    def retry_after_hint(self) -> float:
+        """The Retry-After a shed session should be told."""
+        pressure = (
+            self._queued_chars / self.config.max_queued_chars
+            if self.config.max_queued_chars
+            else 1.0
+        )
+        return round(self.config.retry_after * max(1.0, pressure), 3)

@@ -122,11 +122,16 @@ class ResourceLimits:
             max_buffered_candidates=1_048_576,
         )
 
-    def check(self, limit: str, observed: int) -> None:
-        """Raise :class:`ResourceLimitError` when ``observed`` exceeds ``limit``."""
+    def check(self, limit: str, observed: int, context: "str | None" = None) -> None:
+        """Raise :class:`ResourceLimitError` when ``observed`` exceeds ``limit``.
+
+        ``context`` (optional) names where enforcement happened — a query
+        name, a serving-session id — and is carried on the error and in
+        its message so multi-tenant hosts can attribute the rejection.
+        """
         configured = getattr(self, limit)
         if configured is not None and observed > configured:
-            raise ResourceLimitError(limit, configured, observed)
+            raise ResourceLimitError(limit, configured, observed, context)
 
     # -- serialization (snapshots embed their limits) -------------------
 

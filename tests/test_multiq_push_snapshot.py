@@ -1,0 +1,146 @@
+"""Multi-query snapshots taken mid-chunk during a *push* feed.
+
+The pull-path snapshot suite (test_multiq_snapshot.py) checkpoints
+between events; serving sessions checkpoint between ``feed_text_push``
+calls, with the tokenizer frequently mid-construct (a chunk boundary
+inside a tag, an entity, a CDATA section).  These tests pin down that:
+
+* a snapshot taken at any push-chunk boundary restores to an engine
+  whose remaining-stream results are byte-identical;
+* the snapshot survives JSON (the serving checkpoint spool is JSON on
+  disk);
+* restore works in a **fresh process** with no shared state beyond the
+  blob (the sharded server's workers restore sessions spooled by a
+  SIGKILLed predecessor).
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.multiq.engine import MultiQueryEngine
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+QUERIES = {
+    "sellers": "//auction/seller",
+    "prices": "//auction//price",
+    "deep": "//site//auction[seller]/price",
+}
+
+DOCUMENT = (
+    "<site><auctions>"
+    + "".join(
+        f"<auction><seller>s{i} &amp; co</seller>"
+        f"<bids><price>{i}</price></bids></auction>"
+        for i in range(30)
+    )
+    + "<notes><![CDATA[raw <stuff>]]></notes></auctions></site>"
+)
+
+
+def uninterrupted() -> dict:
+    engine = MultiQueryEngine(QUERIES)
+    engine.feed_text_push(DOCUMENT)
+    return engine.close()
+
+
+def chunk_at(cut: int) -> tuple[str, str]:
+    return DOCUMENT[:cut], DOCUMENT[cut:]
+
+
+# Cuts chosen to land mid-tag, mid-entity, mid-CDATA, and at clean
+# boundaries — the tokenizer must carry each across the snapshot.
+INTERESTING_CUTS = [
+    DOCUMENT.index("<seller>") + 4,          # inside a start tag name
+    DOCUMENT.index("&amp;") + 2,             # inside an entity reference
+    DOCUMENT.index("<![CDATA[") + 11,        # inside a CDATA section
+    DOCUMENT.index("</auction>") + 5,        # inside an end tag
+    len(DOCUMENT) // 2,                      # wherever that lands
+    DOCUMENT.index("<bids>"),                # clean boundary before a tag
+]
+
+
+class TestMidChunkPushSnapshot:
+    @pytest.mark.parametrize("cut", INTERESTING_CUTS)
+    def test_snapshot_mid_construct_is_exact(self, cut):
+        expected = uninterrupted()
+        head, tail = chunk_at(cut)
+        engine = MultiQueryEngine(QUERIES)
+        engine.feed_text_push(head)
+        blob = json.loads(json.dumps(engine.snapshot()))
+        restored = MultiQueryEngine.restore(blob)
+        restored.feed_text_push(tail)
+        assert restored.close() == expected, f"cut at {cut}"
+
+    def test_snapshot_every_small_chunk_boundary(self):
+        expected = uninterrupted()
+        size = 37
+        engine = MultiQueryEngine(QUERIES)
+        position = 0
+        while position < len(DOCUMENT):
+            engine.feed_text_push(DOCUMENT[position:position + size])
+            position += size
+            # checkpoint + restore at EVERY boundary, continuing on the
+            # restored engine — compounding any state loss
+            engine = MultiQueryEngine.restore(
+                json.loads(json.dumps(engine.snapshot()))
+            )
+        assert engine.close() == expected
+
+    def test_callbacks_rebind_and_dedup_across_push_snapshot(self):
+        """Results delivered before the snapshot must not re-fire after
+        restore, even though the engine replays nothing."""
+        fired: list = []
+        engine = MultiQueryEngine(
+            QUERIES, on_match=lambda name, node_id: fired.append((name, node_id))
+        )
+        cut = INTERESTING_CUTS[0]
+        head, tail = chunk_at(cut)
+        engine.feed_text_push(head)
+        before = list(fired)
+        blob = json.loads(json.dumps(engine.snapshot()))
+        restored_fired: list = []
+        restored = MultiQueryEngine.restore(
+            blob, on_match=lambda name, node_id: restored_fired.append((name, node_id))
+        )
+        restored.feed_text_push(tail)
+        restored.close()
+        expected = uninterrupted()
+        combined: dict = {name: [] for name in QUERIES}
+        for name, node_id in before + restored_fired:
+            combined[name].append(node_id)
+        assert combined == expected
+
+
+class TestFreshProcessRestore:
+    def test_restore_in_subprocess_is_byte_identical(self, tmp_path):
+        """Snapshot here, restore in a brand-new interpreter — the blob
+        alone must carry everything (no module state, no closures)."""
+        expected = uninterrupted()
+        cut = DOCUMENT.index("&amp;") + 2  # mid-entity, the nastiest cut
+        head, tail = chunk_at(cut)
+        engine = MultiQueryEngine(QUERIES)
+        engine.feed_text_push(head)
+        blob_path = tmp_path / "checkpoint.json"
+        blob_path.write_text(json.dumps(engine.snapshot()), encoding="utf-8")
+        script = (
+            "import json, sys\n"
+            "from repro.multiq.engine import MultiQueryEngine\n"
+            "blob = json.loads(open(sys.argv[1], encoding='utf-8').read())\n"
+            "engine = MultiQueryEngine.restore(blob)\n"
+            "engine.feed_text_push(sys.stdin.read())\n"
+            "print(json.dumps(engine.close()))\n"
+        )
+        completed = subprocess.run(
+            [sys.executable, "-c", script, str(blob_path)],
+            input=tail, capture_output=True, text=True,
+            env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"},
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert json.loads(completed.stdout) == expected

@@ -35,6 +35,51 @@ class TestLimitsConfig:
         assert ResourceLimits.from_dict(None) is None
 
 
+class TestErrorReporting:
+    """The error must say which limit tripped, the bound, and the value."""
+
+    def test_message_names_limit_bound_and_observation(self):
+        error = ResourceLimitError("max_depth", 4, 5)
+        message = str(error)
+        assert "max_depth" in message
+        assert "4" in message and "5" in message
+        assert "exceeded" in message
+        # Human description of what the limit bounds rides along.
+        assert "nesting depth" in message
+
+    def test_message_carries_context_when_given(self):
+        error = ResourceLimitError(
+            "max_text_length", 100, 250, context="serving session abc123"
+        )
+        assert "while serving session abc123" in str(error)
+        assert error.context == "serving session abc123"
+
+    def test_unknown_limit_name_still_formats(self):
+        error = ResourceLimitError("max_future_thing", 1, 2)
+        message = str(error)
+        assert "max_future_thing=1" in message
+        assert "observed 2" in message
+
+    def test_to_dict_is_json_ready(self):
+        import json
+
+        error = ResourceLimitError("max_buffered_candidates", 256, 300,
+                                   context="query 'books'")
+        payload = json.loads(json.dumps(error.to_dict()))
+        assert payload["limit"] == "max_buffered_candidates"
+        assert payload["configured"] == 256
+        assert payload["observed"] == 300
+        assert payload["context"] == "query 'books'"
+        assert "candidate" in payload["description"]
+
+    def test_check_threads_context_through(self):
+        limits = ResourceLimits(max_depth=2)
+        with pytest.raises(ResourceLimitError) as info:
+            limits.check("max_depth", 9, context="tenant 'acme'")
+        assert info.value.context == "tenant 'acme'"
+        assert "while tenant 'acme'" in str(info.value)
+
+
 class TestDepthBomb:
     def test_million_deep_document_rejected_lazily(self):
         """A depth-10⁶ nesting bomb must die after ~limit elements, having

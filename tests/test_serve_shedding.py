@@ -1,0 +1,110 @@
+"""Admission control and shedding policy: deterministic bookkeeping."""
+
+from __future__ import annotations
+
+from repro.serve.session import ServeConfig
+from repro.serve.shedding import LoadShedder
+
+
+def make_shedder(**overrides) -> LoadShedder:
+    defaults = dict(max_sessions=4, max_sessions_per_tenant=2,
+                    max_queued_chars=1000, retry_after=0.5)
+    defaults.update(overrides)
+    return LoadShedder(ServeConfig(**defaults))
+
+
+class TestAdmission:
+    def test_admits_within_budget(self):
+        shedder = make_shedder()
+        assert shedder.admit("t1", 0) is None
+
+    def test_session_ceiling(self):
+        shedder = make_shedder(max_sessions=2, max_sessions_per_tenant=10)
+        shedder.register("a", "t1", 0)
+        shedder.register("b", "t2", 0)
+        refusal = shedder.admit("t3", 0)
+        assert refusal["code"] == "over_sessions"
+        assert refusal["retry_after"] >= 0.5
+        assert shedder.rejected == 1
+
+    def test_tenant_ceiling_is_per_tenant(self):
+        shedder = make_shedder()
+        shedder.register("a", "t1", 0)
+        shedder.register("b", "t1", 0)
+        assert shedder.admit("t1", 0)["code"] == "over_tenant_sessions"
+        assert shedder.admit("t2", 0) is None  # other tenants unaffected
+
+    def test_queue_budget_refusal_scales_retry_after(self):
+        shedder = make_shedder(max_queued_chars=100)
+        shedder.register("a", "t1", 0)
+        shedder.add_queued("a", 300)  # 3x over budget
+        refusal = shedder.admit("t2", 0)
+        assert refusal["code"] == "over_queue_budget"
+        assert refusal["retry_after"] == 1.5  # 0.5 * 3x pressure
+
+    def test_unregister_frees_tenant_slot(self):
+        shedder = make_shedder()
+        shedder.register("a", "t1", 0)
+        shedder.register("b", "t1", 0)
+        shedder.unregister("a")
+        assert shedder.admit("t1", 0) is None
+
+    def test_unregister_releases_queued_chars(self):
+        shedder = make_shedder()
+        shedder.register("a", "t1", 0)
+        shedder.add_queued("a", 800)
+        shedder.unregister("a")
+        assert shedder.queued_chars == 0
+
+
+class TestVictims:
+    def test_no_victims_within_budget(self):
+        shedder = make_shedder()
+        shedder.register("a", "t1", 0)
+        assert shedder.victims() == []
+
+    def test_newest_lowest_priority_first(self):
+        shedder = make_shedder(max_sessions=2, max_sessions_per_tenant=10)
+        shedder.register("old-low", "t1", 0)
+        shedder.register("high", "t1", 5)
+        shedder.register("new-low", "t1", 0)  # over ceiling now
+        victims = shedder.victims()
+        assert [v.token for v in victims] == ["new-low"]
+        assert shedder.shed == 1
+
+    def test_priority_protects_even_newer_sessions(self):
+        shedder = make_shedder(max_sessions=2, max_sessions_per_tenant=10)
+        shedder.register("low-a", "t1", 0)
+        shedder.register("low-b", "t1", 0)
+        shedder.register("vip", "t1", 9)
+        victims = shedder.victims()
+        # the VIP survives; the newest low-priority session goes first
+        assert [v.token for v in victims] == ["low-b"]
+
+    def test_queue_pressure_sheds_until_under_budget(self):
+        shedder = make_shedder(max_sessions=100, max_sessions_per_tenant=100,
+                               max_queued_chars=100)
+        shedder.register("a", "t1", 0)
+        shedder.register("b", "t1", 0)
+        shedder.register("c", "t1", 0)
+        shedder.add_queued("a", 60)
+        shedder.add_queued("b", 60)
+        shedder.add_queued("c", 60)  # 180 > 100
+        victims = shedder.victims()
+        # newest first: shedding c (60) brings 180 -> 120, still over;
+        # shedding b brings it to 60 — two victims, a survives.
+        assert [v.token for v in victims] == ["c", "b"]
+
+    def test_always_spares_one_survivor(self):
+        shedder = make_shedder(max_sessions=1, max_sessions_per_tenant=100,
+                               max_queued_chars=1)
+        shedder.register("only", "t1", 0)
+        shedder.add_queued("only", 10**6)
+        assert shedder.victims() == []  # someone must make progress
+
+    def test_retry_after_hint_tracks_pressure(self):
+        shedder = make_shedder(max_queued_chars=100, retry_after=1.0)
+        shedder.register("a", "t1", 0)
+        assert shedder.retry_after_hint() == 1.0
+        shedder.add_queued("a", 400)
+        assert shedder.retry_after_hint() == 4.0
