@@ -3,7 +3,7 @@
 PYTHON ?= python3
 PROFILE ?= small
 
-.PHONY: install test robustness bench multiq perf obs serve docs figures examples clean
+.PHONY: install test robustness bench multiq perf obs serve store docs figures examples clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -30,6 +30,9 @@ obs:
 
 serve:
 	$(PYTHON) ci/serve_soak.py
+
+store:
+	$(PYTHON) ci/store_smoke.py
 
 docs:
 	$(PYTHON) ci/docs_check.py

@@ -25,6 +25,10 @@ Packages:
 * :mod:`repro.perf` — the fused push fast path (:class:`PushPipeline`).
 * :mod:`repro.obs` — opt-in metrics and tracing (pass ``metrics=`` /
   ``tracer=`` anywhere a stream is built; see ``docs/OBSERVABILITY.md``).
+* :mod:`repro.serve` — fault-tolerant asyncio serving layer
+  (``docs/SERVING.md``).
+* :mod:`repro.store` — durable ingest log with checkpointed replay and
+  structural indexing (``docs/STORE.md``).
 * :mod:`repro.baselines` — the comparator engines of the evaluation.
 * :mod:`repro.datasets` — Book / XMark / Protein corpus generators.
 * :mod:`repro.bench` — the experiment harness (figures 5-10).
@@ -47,7 +51,7 @@ from repro.errors import (
 from repro.stream.recovery import RecoveryPolicy, ResourceLimits, StreamDiagnostic
 from repro.xpath.querytree import QueryTree, compile_query
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "CheckpointError",

@@ -91,6 +91,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.serve.cli import main as serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "store":
+        # ``python -m repro store ingest|replay|index|compact`` — the
+        # durable ingest log's front end (repro.store.cli).
+        from repro.store.cli import main as store_main
+
+        return store_main(argv[1:])
     if argv and argv[0] == "stats":
         # ``python -m repro stats QUERY FILE`` — one observed pass:
         # metrics exposition + stage tracing (repro.obs.cli).

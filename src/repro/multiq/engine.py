@@ -176,6 +176,27 @@ class MultiQueryEngine:
             for registration in self._registry.registrations()
         }
 
+    def interest(self) -> tuple[frozenset[str], bool, bool]:
+        """Union alphabet of every registered query, router-shaped.
+
+        Returns ``(tags, wants_all, wants_text)`` folded over all units,
+        exactly the analysis :func:`~repro.multiq.router.machine_alphabet`
+        computes per machine.  Units with per-query
+        :class:`~repro.stream.recovery.ResourceLimits` force
+        ``wants_all`` (their accounting needs every event), mirroring
+        the router's unfiltered path.  The durable log's replay uses
+        this to decide which segments provably cannot matter
+        (:mod:`repro.store.index`).
+        """
+        tags: set[str] = set()
+        wants_all = False
+        wants_text = False
+        for unit in self._registry.units():
+            tags |= unit.interest
+            wants_all = wants_all or unit.wants_all or not unit.routable
+            wants_text = wants_text or unit.wants_text
+        return frozenset(tags), wants_all, wants_text
+
     def dispatch_stats(self) -> DispatchStats:
         """Routing counters accumulated since construction (or reset)."""
         return DispatchStats(
@@ -276,6 +297,55 @@ class MultiQueryEngine:
         if created is not None:
             self._router.add(created)
             self._virgin_units.add(created)
+        return registration
+
+    def attach_warm(
+        self,
+        name: str,
+        query: "str | QueryTree",
+        *,
+        machine_state: dict,
+        sink_state: dict,
+        on_match: "Callable[[int], None] | None" = None,
+        limits: ResourceLimits | None = None,
+    ) -> Registration:
+        """Splice in a query whose machine state was computed elsewhere.
+
+        This is the late-query catch-up hook: a backfill pass (typically
+        :func:`repro.store.replay.catch_up`) evaluates the query over
+        recorded history in a scratch engine, snapshots that unit's
+        machine and sink state, and attaches it here so the query
+        continues on the live stream as if it had been registered from
+        the start.  The unit is dedicated (never shared — its history
+        differs from any virgin machine) and marked non-virgin.
+
+        ``machine_state``/``sink_state`` are one unit's ``machine`` and
+        ``sinks`` entries from a :meth:`snapshot` capture; ``sink_state``
+        must be keyed by this same ``name``.  The caller is responsible
+        for pausing feeding while backfill runs, so the splice lands on
+        an exact event boundary.
+        """
+        sink = self._make_sink(name, on_match)
+        registration, created = self._registry.add(
+            name,
+            query,
+            sink,
+            limits=limits,
+            callback=self._is_callback(on_match),
+            share=False,
+            metrics=self._metrics,
+        )
+        unit = created if created is not None else registration.unit
+        try:
+            unit.engine.restore_state(machine_state)
+            unit.sink.restore_state(sink_state)
+        except (KeyError, TypeError, ValueError) as exc:
+            self._registry.remove(name)
+            raise CheckpointError(
+                f"cannot attach warm state for query {name!r}: {exc}"
+            ) from exc
+        unit.virgin = False
+        self._router.add(unit)
         return registration
 
     def remove_query(self, name: str) -> Registration:

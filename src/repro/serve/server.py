@@ -116,7 +116,17 @@ class SessionServer:
         self.shard_index = shard_index
         self.port = port if port is not None else config.port
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
-        self.store = SessionStore(config.session_ttl, config.spool_dir)
+        if config.store_dir is not None:
+            from repro.store.sessions import StoreSessionStore
+
+            self.store = StoreSessionStore(
+                config.session_ttl, config.store_dir,
+                sync=config.sync_policy, metrics=metrics,
+            )
+        else:
+            self.store = SessionStore(
+                config.session_ttl, config.spool_dir, sync=config.sync_policy
+            )
         self.shedder = LoadShedder(config)
         self._connections: dict[str, _Connection] = {}
         self._server: "asyncio.AbstractServer | None" = None

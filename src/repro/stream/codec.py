@@ -1,0 +1,191 @@
+"""Binary encoding of modified-SAX events (the durable-log record body).
+
+The ingest log (:mod:`repro.store`) persists the event stream, not the
+raw XML text: replay then skips tokenization entirely, a recorded stream
+is chunking-independent by construction, and the structural index can be
+built from what the log writer already sees.  This module is the codec
+for one event — the payload bytes inside one CRC-framed log record
+(framing itself is :mod:`repro.serve.framing`; the CRC lives there, not
+here).
+
+Layout (all integers are unsigned LEB128 varints, all strings are
+varint-length-prefixed UTF-8):
+
+``StartElement``::
+
+    kind=1 | level | node_id | tag | attr_count | (name value)*
+
+``Characters``::
+
+    kind=2 | level | text
+
+``EndElement``::
+
+    kind=3 | level | tag
+
+Decoding accepts an optional :class:`~repro.stream.recovery.ResourceLimits`
+and enforces ``max_depth``, ``max_attributes``, ``max_attribute_length``
+and ``max_text_length`` *before* materialising the offending structure —
+a log is attacker-reachable input (a copied file, a shared volume), so a
+CRC-valid but hostile record must not bypass the input-bomb protection
+the tokenizer applies to raw text.  Structural nonsense (truncated
+varints, trailing garbage, unknown kinds) raises :class:`CodecError`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.stream.events import Characters, EndElement, Event, StartElement
+from repro.stream.recovery import ResourceLimits
+
+__all__ = [
+    "CodecError",
+    "EVENT_KIND_START",
+    "EVENT_KIND_CHARS",
+    "EVENT_KIND_END",
+    "encode_event",
+    "decode_event",
+    "event_kind",
+]
+
+#: Record kind bytes (first byte of every encoded event).
+EVENT_KIND_START = 1
+EVENT_KIND_CHARS = 2
+EVENT_KIND_END = 3
+
+
+class CodecError(ReproError):
+    """An event record that cannot be decoded (truncated or malformed)."""
+
+
+def _write_uvarint(out: bytearray, value: int) -> None:
+    """Append ``value`` as an unsigned LEB128 varint."""
+    if value < 0:
+        raise CodecError(f"cannot encode negative integer {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _read_uvarint(data: bytes, pos: int) -> tuple[int, int]:
+    """Read a varint at ``pos``; return ``(value, next_pos)``."""
+    result = 0
+    shift = 0
+    length = len(data)
+    while True:
+        if pos >= length:
+            raise CodecError("truncated varint in event record")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 63:
+            raise CodecError("varint in event record exceeds 64 bits")
+
+
+def _write_text(out: bytearray, text: str) -> None:
+    raw = text.encode("utf-8")
+    _write_uvarint(out, len(raw))
+    out += raw
+
+
+def _read_text(data: bytes, pos: int) -> tuple[str, int]:
+    length, pos = _read_uvarint(data, pos)
+    end = pos + length
+    if end > len(data):
+        raise CodecError("truncated string in event record")
+    try:
+        return data[pos:end].decode("utf-8"), end
+    except UnicodeDecodeError as exc:
+        raise CodecError(f"event record string is not valid UTF-8: {exc}") from exc
+
+
+def encode_event(event: Event) -> bytes:
+    """Serialize one modified-SAX event to its binary record body."""
+    out = bytearray()
+    cls = event.__class__
+    if cls is StartElement or isinstance(event, StartElement):
+        out.append(EVENT_KIND_START)
+        _write_uvarint(out, event.level)
+        _write_uvarint(out, event.node_id)
+        _write_text(out, event.tag)
+        attributes = event.attributes
+        _write_uvarint(out, len(attributes))
+        for name, value in attributes.items():
+            _write_text(out, name)
+            _write_text(out, value)
+    elif cls is Characters or isinstance(event, Characters):
+        out.append(EVENT_KIND_CHARS)
+        _write_uvarint(out, event.level)
+        _write_text(out, event.text)
+    elif cls is EndElement or isinstance(event, EndElement):
+        out.append(EVENT_KIND_END)
+        _write_uvarint(out, event.level)
+        _write_text(out, event.tag)
+    else:
+        raise CodecError(f"cannot encode {event!r}")
+    return bytes(out)
+
+
+def event_kind(data: bytes) -> int:
+    """The kind byte of an encoded event (no full decode)."""
+    if not data:
+        raise CodecError("empty event record")
+    return data[0]
+
+
+def decode_event(data: bytes, limits: ResourceLimits | None = None) -> Event:
+    """Rebuild the event from :func:`encode_event` bytes.
+
+    ``limits`` (optional) bounds attacker-controlled growth exactly as the
+    tokenizer does on raw text: depth, attribute count, attribute value
+    length and text length are checked before the structure is built.
+    """
+    if not data:
+        raise CodecError("empty event record")
+    kind = data[0]
+    pos = 1
+    if kind == EVENT_KIND_START:
+        level, pos = _read_uvarint(data, pos)
+        node_id, pos = _read_uvarint(data, pos)
+        tag, pos = _read_text(data, pos)
+        if limits is not None:
+            limits.check("max_depth", level)
+        count, pos = _read_uvarint(data, pos)
+        if limits is not None:
+            limits.check("max_attributes", count)
+        attributes: dict[str, str] = {}
+        for _ in range(count):
+            name, pos = _read_text(data, pos)
+            value, pos = _read_text(data, pos)
+            if limits is not None:
+                limits.check("max_attribute_length", len(value))
+            attributes[name] = value
+        event: Event = StartElement(tag, level, node_id, attributes)
+    elif kind == EVENT_KIND_CHARS:
+        level, pos = _read_uvarint(data, pos)
+        # Check the *declared* length before decoding the bytes, so a
+        # hostile record fails at O(limit), not O(record).
+        declared, _ = _read_uvarint(data, pos)
+        if limits is not None:
+            limits.check("max_text_length", declared)
+        text, pos = _read_text(data, pos)
+        event = Characters(text, level)
+    elif kind == EVENT_KIND_END:
+        level, pos = _read_uvarint(data, pos)
+        tag, pos = _read_text(data, pos)
+        event = EndElement(tag, level)
+    else:
+        raise CodecError(f"unknown event record kind {kind}")
+    if pos != len(data):
+        raise CodecError(
+            f"event record carries {len(data) - pos} trailing byte(s)"
+        )
+    return event

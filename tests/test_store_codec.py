@@ -1,0 +1,129 @@
+"""The binary event codec: exact round-trips, hostile-record bounds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.stream.codec import (
+    CodecError,
+    EVENT_KIND_CHARS,
+    EVENT_KIND_END,
+    EVENT_KIND_START,
+    decode_event,
+    encode_event,
+    event_kind,
+)
+from repro.stream.events import Characters, EndElement, StartElement
+from repro.stream.recovery import ResourceLimits
+from repro.stream.tokenizer import parse_string
+
+from tests.test_push_equivalence import random_document
+
+
+class TestRoundTrip:
+    def test_start_element(self):
+        event = StartElement("book", 2, 7, {"year": "2006", "lang": "en"})
+        decoded = decode_event(encode_event(event))
+        assert decoded == event
+        assert decoded.attributes == {"year": "2006", "lang": "en"}
+
+    def test_characters_and_end(self):
+        for event in (Characters("42 & <more>", 3), EndElement("book", 2)):
+            assert decode_event(encode_event(event)) == event
+
+    def test_unicode(self):
+        event = Characters("prix € 中文 \U0001f600", 1)
+        assert decode_event(encode_event(event)) == event
+
+    def test_kind_bytes(self):
+        assert event_kind(encode_event(StartElement("a", 1, 1, {}))) == EVENT_KIND_START
+        assert event_kind(encode_event(Characters("x", 1))) == EVENT_KIND_CHARS
+        assert event_kind(encode_event(EndElement("a", 1))) == EVENT_KIND_END
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_whole_documents_round_trip(self, seed):
+        events = list(parse_string(random_document(seed)))
+        assert [decode_event(encode_event(e)) for e in events] == events
+
+    def test_large_varint_values(self):
+        event = StartElement("t", 2**40, 2**50, {})
+        assert decode_event(encode_event(event)) == event
+
+
+class TestMalformed:
+    def test_empty(self):
+        with pytest.raises(CodecError):
+            decode_event(b"")
+
+    def test_unknown_kind(self):
+        with pytest.raises(CodecError, match="unknown"):
+            decode_event(bytes([99, 0]))
+
+    def test_truncated_varint(self):
+        with pytest.raises(CodecError, match="truncated"):
+            decode_event(bytes([EVENT_KIND_CHARS, 0x80]))
+
+    def test_truncated_string(self):
+        data = encode_event(Characters("hello world", 1))
+        with pytest.raises(CodecError, match="truncated"):
+            decode_event(data[:-4])
+
+    def test_trailing_garbage(self):
+        data = encode_event(EndElement("a", 1)) + b"\x00"
+        with pytest.raises(CodecError, match="trailing"):
+            decode_event(data)
+
+    def test_invalid_utf8(self):
+        # kind | level | len=2 | 0xff 0xfe (not UTF-8)
+        data = bytes([EVENT_KIND_CHARS, 1, 2, 0xFF, 0xFE])
+        with pytest.raises(CodecError, match="UTF-8"):
+            decode_event(data)
+
+    def test_oversized_varint(self):
+        with pytest.raises(CodecError, match="64 bits"):
+            decode_event(bytes([EVENT_KIND_CHARS]) + b"\xff" * 10 + b"\x01")
+
+    def test_negative_rejected_at_encode(self):
+        with pytest.raises(CodecError):
+            encode_event(Characters("x", -1))
+
+
+class TestLimits:
+    """CRC-valid but hostile records must hit the same walls as raw XML."""
+
+    def test_depth(self):
+        bomb = encode_event(StartElement("a", 5000, 1, {}))
+        decode_event(bomb)  # unlimited: fine
+        with pytest.raises(Exception, match="max_depth"):
+            decode_event(bomb, ResourceLimits(max_depth=100))
+
+    def test_attribute_count_checked_before_materialising(self):
+        # Declare 2**30 attributes but carry none: the check must fire on
+        # the declared count, not after building a giant dict.
+        data = bytes([EVENT_KIND_START, 1, 1, 1, ord("a")]) + b"\x80\x80\x80\x80\x04"
+        with pytest.raises(Exception, match="max_attributes"):
+            decode_event(data, ResourceLimits(max_attributes=4))
+
+    def test_attribute_length(self):
+        event = StartElement("a", 1, 1, {"v": "x" * 1000})
+        with pytest.raises(Exception, match="max_attribute_length"):
+            decode_event(encode_event(event), ResourceLimits(max_attribute_length=10))
+
+    def test_text_length_checked_on_declared_size(self):
+        # A record declaring a 1 GiB string (without the bytes) must fail
+        # on the declaration, not on allocation.
+        data = bytes([EVENT_KIND_CHARS, 1]) + b"\x80\x80\x80\x80\x04"
+        with pytest.raises(Exception, match="max_text_length"):
+            decode_event(data, ResourceLimits(max_text_length=1 << 20))
+
+    def test_within_limits_passes(self):
+        limits = ResourceLimits(
+            max_depth=10, max_attributes=4, max_attribute_length=16,
+            max_text_length=64,
+        )
+        for event in (
+            StartElement("a", 3, 1, {"k": "v"}),
+            Characters("short", 3),
+            EndElement("a", 3),
+        ):
+            assert decode_event(encode_event(event), limits) == event

@@ -1,0 +1,327 @@
+"""The framed segment log: rotation, recovery, manifest, compaction, sync."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.serve.framing import encode_frame
+from repro.store.log import (
+    MANIFEST_NAME,
+    REC_EVENT,
+    EventLogReader,
+    EventLogWriter,
+    ReplayStats,
+    StoreError,
+    compact,
+)
+from repro.store.sync import SyncPolicy
+from repro.stream.events import Characters, EndElement, StartElement
+from repro.stream.recovery import ResourceLimits
+from repro.stream.tokenizer import parse_string
+
+from tests.test_push_equivalence import random_document
+
+
+def write_document(path, text, *, segment_events=64, checkpoint_interval=0,
+                   sync="none", close=True):
+    writer = EventLogWriter(
+        path, segment_events=segment_events,
+        checkpoint_interval=checkpoint_interval, sync=sync,
+    )
+    events = list(parse_string(text))
+    writer.extend(events)
+    if close:
+        writer.close()
+    return writer, events
+
+
+class TestWriterReader:
+    def test_round_trip_single_segment(self, tmp_path):
+        store = str(tmp_path / "s")
+        _, events = write_document(store, random_document(3), segment_events=10_000)
+        reader = EventLogReader(store)
+        assert list(reader.events()) == events
+        assert reader.position == len(events)
+
+    def test_rotation_preserves_order(self, tmp_path):
+        store = str(tmp_path / "s")
+        text = "<r>" + "".join(f"<a><b>{i}</b></a>" for i in range(40)) + "</r>"
+        writer, events = write_document(store, text, segment_events=16)
+        reader = EventLogReader(store)
+        segments = reader.segments()
+        assert len(segments) > 1
+        assert all(segment.sealed for segment in segments)
+        assert [segment.base_event for segment in segments] == sorted(
+            segment.base_event for segment in segments
+        )
+        assert list(reader.events()) == events
+
+    def test_push_handler_tee_equals_append(self, tmp_path):
+        text = random_document(7)
+        a, events = write_document(str(tmp_path / "a"), text, segment_events=32)
+        writer = EventLogWriter(str(tmp_path / "b"), segment_events=32, sync="none")
+        for event in events:
+            if isinstance(event, StartElement):
+                writer.start_element(event.tag, event.level, event.node_id,
+                                     event.attributes)
+            elif isinstance(event, Characters):
+                writer.characters(event.text, event.level)
+            else:
+                writer.end_element(event.tag, event.level)
+        writer.close()
+        assert list(EventLogReader(str(tmp_path / "b")).events()) == events
+
+    def test_segment_summary_matches_content(self, tmp_path):
+        store = str(tmp_path / "s")
+        write_document(store, "<r><a x='1'>text</a><b/></r>", segment_events=100)
+        (segment,) = EventLogReader(store).segments()
+        assert segment.tags == {"r", "a", "b"}
+        assert segment.has_text
+        assert segment.min_level == 1 and segment.max_level == 2
+        assert segment.events == 7  # 3 starts + 1 text + 3 ends
+
+    def test_start_event_positioning(self, tmp_path):
+        store = str(tmp_path / "s")
+        _, events = write_document(store, random_document(11), segment_events=8)
+        reader = EventLogReader(store)
+        for start in (0, 1, len(events) // 2, len(events) - 1, len(events)):
+            assert list(reader.events(start)) == events[start:]
+
+    def test_reader_requires_manifest(self, tmp_path):
+        with pytest.raises(StoreError, match="not a store"):
+            EventLogReader(str(tmp_path / "missing"))
+
+    def test_closed_writer_refuses_appends(self, tmp_path):
+        store = str(tmp_path / "s")
+        writer, _ = write_document(store, "<r><a/></r>")
+        with pytest.raises(StoreError, match="closed"):
+            writer.append(EndElement("r", 1))
+
+    def test_reader_sees_live_unsealed_tail(self, tmp_path):
+        store = str(tmp_path / "s")
+        writer = EventLogWriter(store, segment_events=4, sync="none")
+        events = list(parse_string("<r><a/><b/><c/><d/><e/></r>"))
+        writer.extend(events)
+        writer.flush()
+        reader = EventLogReader(store)
+        assert list(reader.events()) == events
+        assert not reader.segments()[-1].sealed
+        writer.close()
+
+
+class TestRecovery:
+    def _torn_store(self, tmp_path, cut: int):
+        """A store whose active segment lost ``cut`` trailing bytes."""
+        store = str(tmp_path / "s")
+        writer = EventLogWriter(store, segment_events=32, sync="none")
+        events = list(parse_string(random_document(9)))
+        writer.extend(events)
+        writer.flush()
+        active = os.path.join(store, writer._manifest.active)
+        # Abandon the writer (simulated crash), then tear the tail.
+        size = os.path.getsize(active)
+        with open(active, "r+b") as handle:
+            handle.truncate(size - cut)
+        return store, events
+
+    @pytest.mark.parametrize("cut", [1, 3, 5])
+    def test_torn_tail_truncated_to_good_prefix(self, tmp_path, cut):
+        store, events = self._torn_store(tmp_path, cut)
+        recovered = EventLogWriter(store, segment_events=32, sync="none")
+        assert recovered.recovered_tail_bytes > 0
+        assert recovered.position < len(events)
+        survivors = events[: recovered.position]
+        recovered.extend(events[recovered.position:])
+        recovered.close()
+        assert list(EventLogReader(store).events()) == events
+
+    def test_corrupt_middle_of_active_truncates_there(self, tmp_path):
+        store, events = self._torn_store(tmp_path, 0)
+        active = os.path.join(
+            store, json.load(open(os.path.join(store, MANIFEST_NAME)))["active"]
+        )
+        data = bytearray(open(active, "rb").read())
+        data[len(data) // 2] ^= 0xFF  # flip a bit mid-file
+        open(active, "wb").write(bytes(data))
+        recovered = EventLogWriter(store, segment_events=32, sync="none")
+        assert 0 < recovered.position < len(events)
+        assert recovered.recovered_tail_bytes > 0
+
+    def test_garbage_active_file_is_replaced(self, tmp_path):
+        store, events = self._torn_store(tmp_path, 0)
+        active = os.path.join(
+            store, json.load(open(os.path.join(store, MANIFEST_NAME)))["active"]
+        )
+        open(active, "wb").write(b"not frames at all")
+        recovered = EventLogWriter(store, segment_events=32, sync="none")
+        # Sealed history intact; active segment restarted at its base.
+        assert recovered.position == recovered._segment.base_event
+        recovered.close()
+        survivors = list(EventLogReader(store).events())
+        assert survivors == events[: len(survivors)]
+
+    def test_reopen_cleanly_closed_store_continues_positions(self, tmp_path):
+        store = str(tmp_path / "s")
+        _, first = write_document(store, "<r><a/><b/></r>", segment_events=3)
+        writer = EventLogWriter(store, segment_events=3, sync="none")
+        assert writer.position == len(first)
+        more = list(parse_string("<r2><c/></r2>"))
+        writer.extend(more)
+        writer.close()
+        assert list(EventLogReader(store).events()) == first + more
+
+    def test_sealed_segment_corruption_raises(self, tmp_path):
+        store = str(tmp_path / "s")
+        write_document(store, random_document(4), segment_events=8)
+        reader = EventLogReader(store)
+        sealed = reader.segments()[0]
+        path = os.path.join(store, sealed.file)
+        data = bytearray(open(path, "rb").read())
+        data[-3] ^= 0xFF
+        open(path, "wb").write(bytes(data))
+        with pytest.raises(StoreError, match="corrupt sealed segment"):
+            list(EventLogReader(store).events())
+
+    def test_corrupt_manifest_raises(self, tmp_path):
+        store = str(tmp_path / "s")
+        write_document(store, "<r/>")
+        open(os.path.join(store, MANIFEST_NAME), "w").write("{broken")
+        with pytest.raises(StoreError, match="corrupt store manifest"):
+            EventLogReader(store)
+
+
+class TestCheckpointsAndCompaction:
+    def test_checkpoint_positions(self, tmp_path):
+        store = str(tmp_path / "s")
+        writer = EventLogWriter(store, segment_events=16,
+                                checkpoint_interval=10, sync="none")
+        events = list(parse_string(random_document(6)))
+        writer.extend(events)
+        final = writer.checkpoint()
+        writer.close()
+        reader = EventLogReader(store)
+        checkpoints = reader.checkpoints()
+        assert [c.id for c in checkpoints] == list(range(1, final + 1))
+        for info in checkpoints[:-1]:
+            assert info.event % 10 == 0
+        assert checkpoints[-1].event == len(events)
+
+    def test_compact_drops_prefix_only(self, tmp_path):
+        store = str(tmp_path / "s")
+        writer = EventLogWriter(store, segment_events=8,
+                                checkpoint_interval=20, sync="none")
+        text = "<r>" + "".join(f"<a><b>{i}</b></a>" for i in range(30)) + "</r>"
+        events = list(parse_string(text))
+        writer.extend(events)
+        writer.close()
+        reader = EventLogReader(store)
+        target = reader.checkpoints()[1]
+        summary = compact(store, target.id, sync="none")
+        assert summary["segments_dropped"] >= 1
+        after = EventLogReader(store)
+        floor = after.compacted_before_event
+        assert 0 < floor <= target.event
+        assert list(after.events(floor)) == events[floor:]
+        with pytest.raises(StoreError, match="compacted"):
+            list(after.events(0))
+
+    def test_compact_requires_closed_store(self, tmp_path):
+        store = str(tmp_path / "s")
+        writer = EventLogWriter(store, sync="none")
+        writer.append(StartElement("r", 1, 1, {}))
+        writer.checkpoint()
+        writer.flush()
+        with pytest.raises(StoreError, match="active writer"):
+            compact(store, 1)
+        writer.close()
+
+    def test_compact_unknown_checkpoint(self, tmp_path):
+        store = str(tmp_path / "s")
+        write_document(store, "<r/>")
+        with pytest.raises(StoreError, match="no checkpoint 99"):
+            compact(store, 99)
+
+
+class TestLimitsOnLogBytes:
+    def test_decode_limits_enforced_during_read(self, tmp_path):
+        store = str(tmp_path / "s")
+        write_document(store, "<r>" + "<a>" * 30 + "</a>" * 30 + "</r>")
+        reader = EventLogReader(store, limits=ResourceLimits(max_depth=10))
+        with pytest.raises(Exception, match="max_depth"):
+            list(reader.events())
+
+    def test_max_total_events_bounds_replay(self, tmp_path):
+        store = str(tmp_path / "s")
+        write_document(store, random_document(2))
+        reader = EventLogReader(store, limits=ResourceLimits(max_total_events=5))
+        with pytest.raises(Exception, match="max_total_events"):
+            list(reader.events())
+
+    def test_hostile_record_injected_into_segment(self, tmp_path):
+        """A CRC-valid frame containing a depth bomb must be caught."""
+        from repro.stream.codec import encode_event
+
+        store = str(tmp_path / "s")
+        writer = EventLogWriter(store, sync="none")
+        writer.append(StartElement("r", 1, 1, {}))
+        active = os.path.join(store, writer._manifest.active)
+        writer.flush()
+        bomb = encode_frame(REC_EVENT, encode_event(StartElement("x", 10**6, 2, {})))
+        with open(active, "ab") as handle:
+            handle.write(bomb)
+        reader = EventLogReader(store, limits=ResourceLimits(max_depth=64))
+        with pytest.raises(Exception, match="max_depth"):
+            list(reader.events())
+        # Without limits the bomb decodes (it is structurally valid).
+        assert len(list(EventLogReader(store).events())) == 2
+        writer.close()
+
+
+class TestSyncPolicy:
+    def test_coerce_spellings(self):
+        assert SyncPolicy.coerce(None).kind == "always"
+        assert SyncPolicy.coerce("none").kind == "none"
+        policy = SyncPolicy.coerce("interval:7")
+        assert (policy.kind, policy.interval) == ("interval", 7)
+        assert SyncPolicy.coerce(policy) is policy
+        assert policy.to_str() == "interval:7"
+
+    def test_invalid_spellings(self):
+        with pytest.raises(ValueError):
+            SyncPolicy.coerce("sometimes")
+        with pytest.raises(ValueError):
+            SyncPolicy("interval", 0)
+        with pytest.raises(TypeError):
+            SyncPolicy.coerce(42)
+
+    def test_should_sync_cadence(self):
+        always, never = SyncPolicy("always"), SyncPolicy("none")
+        every3 = SyncPolicy("interval", 3)
+        assert always.should_sync(1) and not never.should_sync(10**6)
+        assert [every3.should_sync(n) for n in (1, 2, 3, 4)] == [
+            False, False, True, True,
+        ]
+
+    @pytest.mark.parametrize("sync", ["always", "interval:4", "none"])
+    def test_log_contents_identical_across_policies(self, tmp_path, sync):
+        store = str(tmp_path / sync.replace(":", "_"))
+        _, events = write_document(store, random_document(8), sync=sync)
+        assert list(EventLogReader(store).events()) == events
+
+    def test_writer_sync_counts(self, tmp_path, monkeypatch):
+        import repro.store.sync as sync_mod
+
+        calls = []
+        monkeypatch.setattr(sync_mod.os, "fsync", lambda fd: calls.append(fd))
+        store = str(tmp_path / "s")
+        writer = EventLogWriter(store, sync="interval:5", segment_events=10_000)
+        for event in parse_string(random_document(10)):
+            writer.append(event)
+        appended = writer.position
+        mid_count = len(calls)
+        assert mid_count >= appended // 5 - 1
+        writer.close()
+        assert len(calls) > mid_count  # seal forces a final sync

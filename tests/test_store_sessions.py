@@ -1,0 +1,313 @@
+"""StoreSessionStore: the framed, compacting session-checkpoint log.
+
+Covers the SessionStore-compatible surface, crash recovery over torn
+``sessions.log`` tails, compaction triggers and atomicity, the shared
+``sync_policy`` spelling on both stores, and the ``ServeConfig``
+selection of the store-backed log in the server.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.serve.framing import encode_frame
+from repro.serve.session import ServeConfig, SessionStore
+from repro.store.log import REC_SESSION, REC_SESSION_TOMB
+from repro.store.sessions import SESSIONS_LOG_NAME, StoreSessionStore
+from repro.store.sync import SyncPolicy
+
+
+def make_store(tmp_path, **kwargs) -> StoreSessionStore:
+    kwargs.setdefault("sync", "none")
+    return StoreSessionStore(300.0, str(tmp_path / "sessions"), **kwargs)
+
+
+class TestSurface:
+    def test_put_get_delete_len(self, tmp_path):
+        store = make_store(tmp_path)
+        assert store.get("t1") is None
+        store.put("t1", {"offset": 5})
+        store.put("t2", {"offset": 9})
+        assert store.get("t1") == {"offset": 5}
+        assert len(store) == 2
+        store.delete("t1")
+        assert store.get("t1") is None
+        assert len(store) == 1
+        store.delete("missing")  # no-op, no tombstone spam
+        store.close()
+
+    def test_put_overwrites(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put("t", {"v": 1})
+        store.put("t", {"v": 2})
+        assert store.get("t") == {"v": 2}
+        assert len(store) == 1
+        store.close()
+
+    def test_sweep_expires_by_ttl(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put("old", {"v": 1}, now=100.0)
+        store.put("new", {"v": 2}, now=500.0)
+        removed = store.sweep(now=450.0)  # ttl=300: 'old' is stale
+        assert removed == 1
+        assert store.get("old") is None
+        assert store.get("new") == {"v": 2}
+        store.close()
+
+    def test_matches_session_store_semantics(self, tmp_path):
+        """Differential: both stores agree on every operation's outcome."""
+        framed = make_store(tmp_path)
+        spool = SessionStore(300.0, str(tmp_path / "spool"))
+        ops = [
+            ("put", "a", {"x": 1}), ("put", "b", {"x": 2}),
+            ("put", "a", {"x": 3}), ("delete", "b", None),
+            ("put", "c", {"deep": {"nested": [1, 2]}}),
+        ]
+        for op, token, blob in ops:
+            for store in (framed, spool):
+                getattr(store, op)(*([token, blob] if op == "put" else [token]))
+        for token in ("a", "b", "c"):
+            assert framed.get(token) == spool.get(token)
+        assert len(framed) == len(spool)
+        framed.close()
+
+
+class TestRecovery:
+    def test_survives_reopen(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put("t1", {"offset": 5})
+        store.put("t2", {"offset": 9})
+        store.delete("t2")
+        store.close()
+        revived = make_store(tmp_path)
+        assert revived.get("t1") == {"offset": 5}
+        assert revived.get("t2") is None
+        assert len(revived) == 1
+        revived.close()
+
+    def test_torn_tail_loses_only_last_record(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put("keep", {"v": 1})
+        store.put("torn", {"v": 2})
+        store.close()
+        path = tmp_path / "sessions" / SESSIONS_LOG_NAME
+        path.write_bytes(path.read_bytes()[:-3])  # SIGKILL mid-append
+        revived = make_store(tmp_path)
+        assert revived.get("keep") == {"v": 1}
+        assert revived.get("torn") is None
+        # The torn bytes were truncated; new appends extend a clean log.
+        revived.put("after", {"v": 3})
+        revived.close()
+        final = make_store(tmp_path)
+        assert final.get("keep") == {"v": 1}
+        assert final.get("after") == {"v": 3}
+        final.close()
+
+    def test_corrupt_middle_truncates_from_there(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put("first", {"v": 1})
+        size_after_first = os.path.getsize(tmp_path / "sessions" / SESSIONS_LOG_NAME)
+        store.put("second", {"v": 2})
+        store.put("third", {"v": 3})
+        store.close()
+        path = tmp_path / "sessions" / SESSIONS_LOG_NAME
+        data = bytearray(path.read_bytes())
+        data[size_after_first + 11] ^= 0xFF  # flip a bit inside record 2
+        path.write_bytes(bytes(data))
+        revived = make_store(tmp_path)
+        assert revived.get("first") == {"v": 1}
+        assert revived.get("second") is None
+        assert revived.get("third") is None  # after the corruption: untrusted
+        revived.close()
+
+    def test_garbage_payload_truncated(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put("ok", {"v": 1})
+        store.close()
+        path = tmp_path / "sessions" / SESSIONS_LOG_NAME
+        with open(path, "ab") as handle:
+            # CRC-valid frame whose JSON payload has the wrong shape.
+            handle.write(encode_frame(REC_SESSION, b'{"nope": true}'))
+        revived = make_store(tmp_path)
+        assert revived.get("ok") == {"v": 1}
+        assert len(revived) == 1
+        revived.close()
+
+    def test_tombstone_round_trip(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put("t", {"v": 1})
+        store.delete("t")
+        store.close()
+        data = (tmp_path / "sessions" / SESSIONS_LOG_NAME).read_bytes()
+        assert data.count(bytes([REC_SESSION_TOMB])) >= 1
+        revived = make_store(tmp_path)
+        assert len(revived) == 0
+        revived.close()
+
+
+class TestCompaction:
+    def test_triggers_on_dead_ratio(self, tmp_path):
+        store = make_store(tmp_path)
+        # 100 overwrites of one token: 99 dead records crosses the 0.5
+        # ratio once past MIN_COMPACT_RECORDS.
+        for i in range(100):
+            store.put("t", {"v": i})
+        assert store._records < 100  # a compaction fired
+        assert store.get("t") == {"v": 99}
+        store.close()
+        revived = make_store(tmp_path)
+        assert revived.get("t") == {"v": 99}
+        revived.close()
+
+    def test_small_logs_left_alone(self, tmp_path):
+        store = make_store(tmp_path)
+        for i in range(10):
+            store.put("t", {"v": i})
+        assert store._records == 10  # under MIN_COMPACT_RECORDS
+        store.close()
+
+    def test_explicit_compact_shrinks_file(self, tmp_path):
+        store = make_store(tmp_path, compact_ratio=1.1)  # never auto
+        for i in range(200):
+            store.put("t", {"v": i})
+        path = tmp_path / "sessions" / SESSIONS_LOG_NAME
+        before = os.path.getsize(path)
+        dropped = store.compact()
+        assert dropped == 199
+        assert os.path.getsize(path) < before
+        assert store.get("t") == {"v": 199}
+        store.put("u", {"v": 0})  # appends still work post-swap
+        store.close()
+        revived = make_store(tmp_path)
+        assert revived.get("t") == {"v": 199}
+        assert revived.get("u") == {"v": 0}
+        revived.close()
+
+    def test_compaction_metric(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        store = make_store(tmp_path, compact_ratio=1.1, metrics=metrics)
+        for i in range(100):
+            store.put("t", {"v": i})
+        store.compact()
+        text = metrics.render_prometheus()
+        assert "repro_store_session_compactions_total 1" in text
+        store.close()
+
+
+class TestSyncPolicy:
+    def test_spool_store_fsync_cadence(self, tmp_path, monkeypatch):
+        calls = []
+        import repro.store.sync as sync_mod
+
+        monkeypatch.setattr(
+            sync_mod.os, "fsync", lambda fd: calls.append(fd)
+        )
+        store = SessionStore(300.0, str(tmp_path / "spool"), sync="interval:3")
+        for i in range(9):
+            store.put(f"t{i}", {"v": i})
+        assert len(calls) == 3
+        calls.clear()
+        quiet = SessionStore(300.0, str(tmp_path / "spool2"), sync="none")
+        quiet.put("t", {"v": 1})
+        assert calls == []
+
+    def test_framed_store_fsync_cadence(self, tmp_path, monkeypatch):
+        calls = []
+        import repro.store.sync as sync_mod
+
+        monkeypatch.setattr(sync_mod.os, "fsync", lambda fd: calls.append(fd))
+        store = make_store(tmp_path, sync="interval:4")
+        for i in range(8):
+            store.put(f"t{i}", {"v": i})
+        assert len(calls) == 2
+        store.close()
+
+    def test_policy_coercion_shared_spelling(self):
+        for spelling in ("always", "interval", "interval:7", "none"):
+            policy = SyncPolicy.coerce(spelling)
+            assert policy.to_str() in (spelling, "interval:64")
+        assert SessionStore(1.0).sync.kind == "always"  # None → safe default
+
+
+class TestServeIntegration:
+    def test_config_selects_store_backed_log(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.serve.server import SessionServer
+
+        config = ServeConfig(
+            store_dir=str(tmp_path / "sessions"), sync_policy="none"
+        )
+        worker = SessionServer(config, metrics=MetricsRegistry())
+        assert isinstance(worker.store, StoreSessionStore)
+        worker.store.put("t", {"v": 1})
+        assert (tmp_path / "sessions" / SESSIONS_LOG_NAME).exists()
+        worker.store.close()
+
+    def test_config_defaults_to_spool(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.serve.server import SessionServer
+
+        config = ServeConfig(spool_dir=str(tmp_path / "spool"))
+        worker = SessionServer(config, metrics=MetricsRegistry())
+        assert isinstance(worker.store, SessionStore)
+        assert not isinstance(worker.store, StoreSessionStore)
+
+    def test_session_checkpoint_resume_through_framed_store(self, tmp_path):
+        """End-to-end: checkpoint a real session into the framed log,
+        'crash' (new store instance), resume, results identical."""
+        from repro.serve.session import Session
+
+        text = "<catalog>" + "".join(
+            f"<book><title>T{i}</title></book>" for i in range(8)
+        ) + "</catalog>"
+        config = ServeConfig(checkpoint_interval=1)
+        results: list = []
+        session = Session.open(
+            {"queries": {"q": "//book/title"}},
+            config,
+            lambda name, node_id, seq: results.append((name, node_id, seq)),
+        )
+        half = len(text) // 2
+        session.feed(0, text[:half])
+        store = make_store(tmp_path)
+        store.put(session.token, session.checkpoint())
+        store.close()
+
+        revived_store = make_store(tmp_path)  # fresh process
+        blob = revived_store.get(session.token)
+        resumed: list = []
+        session2 = Session.resume(
+            blob, config,
+            lambda name, node_id, seq: resumed.append((name, node_id, seq)),
+            last_result_seq=results[-1][2] if results else 0,
+        )
+        session2.feed(session2.input_offset, text[session2.input_offset:])
+        session2.finish()
+
+        reference: list = []
+        whole = Session.open(
+            {"queries": {"q": "//book/title"}},
+            config,
+            lambda name, node_id, seq: reference.append((name, node_id, seq)),
+        )
+        whole.feed(0, text)
+        whole.finish()
+        assert results + resumed == reference
+        revived_store.close()
+
+
+class TestSessionsLogFormat:
+    def test_records_are_compact_json(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put("tok", {"a": 1})
+        store.close()
+        data = (tmp_path / "sessions" / SESSIONS_LOG_NAME).read_bytes()
+        payload = data[9:]  # one frame: 9-byte header then payload
+        record = json.loads(payload)
+        assert record["token"] == "tok"
+        assert json.loads(record["blob"]) == {"a": 1}
