@@ -3,7 +3,7 @@
 PYTHON ?= python3
 PROFILE ?= small
 
-.PHONY: install test robustness bench multiq perf obs serve store docs figures examples clean
+.PHONY: install test robustness bench multiq perf obs serve store transform docs figures examples clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -33,6 +33,9 @@ serve:
 
 store:
 	$(PYTHON) ci/store_smoke.py
+
+transform:
+	$(PYTHON) ci/transform_smoke.py
 
 docs:
 	$(PYTHON) ci/docs_check.py

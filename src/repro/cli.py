@@ -97,6 +97,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.store.cli import main as store_main
 
         return store_main(argv[1:])
+    if argv and argv[0] == "transform":
+        # ``python -m repro transform select|rewrite`` — the streaming
+        # transformation layer's front end (repro.transform.cli).
+        from repro.transform.cli import main as transform_main
+
+        return transform_main(argv[1:])
     if argv and argv[0] == "stats":
         # ``python -m repro stats QUERY FILE`` — one observed pass:
         # metrics exposition + stage tracing (repro.obs.cli).

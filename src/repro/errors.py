@@ -132,3 +132,13 @@ class CheckpointError(ReproError):
     match the snapshot (the query changed), or structurally invalid
     snapshot data.
     """
+
+
+class TransformError(ReproError):
+    """A streaming transformation cannot proceed.
+
+    Raised for invalid rewrite rules (unknown action, missing argument,
+    a replacement that is not well-formed XML), a callback rule that
+    returns an ill-nested event sequence, or a transform closed while
+    rewrite regions are still unresolved (truncated input).
+    """

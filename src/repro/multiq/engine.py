@@ -176,6 +176,10 @@ class MultiQueryEngine:
             for registration in self._registry.registrations()
         }
 
+    def registration(self, name: str) -> Registration:
+        """Look up one standing query's registration by name."""
+        return self._registry.get(name)
+
     def interest(self) -> tuple[frozenset[str], bool, bool]:
         """Union alphabet of every registered query, router-shaped.
 
@@ -273,6 +277,7 @@ class MultiQueryEngine:
         *,
         on_match: "Callable[[int], None] | None" = None,
         limits: ResourceLimits | None = None,
+        tracker=None,
     ) -> Registration:
         """Register a standing query, possibly mid-stream.
 
@@ -280,6 +285,11 @@ class MultiQueryEngine:
         engine-level callback; ``limits`` admits the query's machine
         under its own :class:`ResourceLimits` (such machines see every
         event so limit accounting matches a dedicated stream).
+        ``tracker`` attaches a
+        :class:`~repro.core.twigm.CandidateTracker` observing the
+        query's candidate lifetimes — the fragment-capture hook used by
+        :mod:`repro.transform`; tracked queries run a dedicated TwigM
+        (never shared) so the tracker sees exactly one query's story.
 
         A query added mid-stream starts cold: it evaluates the remainder
         of the stream exactly as a fresh :class:`XPathStream` started at
@@ -293,6 +303,7 @@ class MultiQueryEngine:
             limits=limits,
             callback=self._is_callback(on_match),
             metrics=self._metrics,
+            tracker=tracker,
         )
         if created is not None:
             self._router.add(created)
@@ -551,6 +562,7 @@ class MultiQueryEngine:
                         else None
                     ),
                     "callback": registration.callback,
+                    "tracked": registration.tracked,
                 }
                 for registration in self._registry.registrations()
             ],
@@ -581,6 +593,7 @@ class MultiQueryEngine:
         on_match: "Callable[[str, int], None] | None" = None,
         on_diagnostic: "Callable[[StreamDiagnostic], None] | None" = None,
         metrics=None,
+        trackers: "Mapping[str, object] | None" = None,
     ) -> "MultiQueryEngine":
         """Rebuild a dispatcher from a :meth:`snapshot` capture.
 
@@ -588,9 +601,13 @@ class MultiQueryEngine:
         rebinds every callback-mode query (ids emitted before the
         checkpoint are remembered and will not fire again); without it,
         callback-mode queries restore onto a silent sink so their
-        de-duplication state is still preserved.  Passing ``metrics``
-        resumes with instrumentation; snapshot-carried counters make the
-        registry report the same totals as an uninterrupted run.
+        de-duplication state is still preserved.  The same applies to
+        candidate trackers: ``trackers`` (query name →
+        :class:`~repro.core.twigm.CandidateTracker`) re-attaches them to
+        tracked queries — the tracker's *own* counts are the owner's to
+        restore.  Passing ``metrics`` resumes with instrumentation;
+        snapshot-carried counters make the registry report the same
+        totals as an uninterrupted run.
         """
         version = snapshot.get("version")
         if version != MULTIQ_SNAPSHOT_VERSION:
@@ -606,7 +623,7 @@ class MultiQueryEngine:
                 limits=ResourceLimits.from_dict(snapshot.get("limits")),
                 metrics=metrics,
             )
-            engine._restore_queries(snapshot)
+            engine._restore_queries(snapshot, trackers or {})
             stats = snapshot.get("stats", {})
             engine._events = stats.get("events", 0)
             engine._dispatched = stats.get("dispatched", 0)
@@ -622,7 +639,7 @@ class MultiQueryEngine:
             raise CheckpointError(f"malformed multiq snapshot: {exc}") from exc
         return engine
 
-    def _restore_queries(self, snapshot: dict) -> None:
+    def _restore_queries(self, snapshot: dict, trackers: Mapping) -> None:
         """Rebuild units and registrations, preserving grouping and order."""
         from repro.multiq.canon import canonicalize
         from repro.xpath.querytree import compile_query
@@ -636,8 +653,11 @@ class MultiQueryEngine:
             first = payloads[members[0]]
             limits = ResourceLimits.from_dict(first.get("limits"))
             tree = canonicalize(first["query"])
+            tracked = bool(first.get("tracked", False))
             unit = EvalUnit(tree, limits, engine_name=unit_payload["engine"],
-                            metrics=self._metrics)
+                            metrics=self._metrics,
+                            tracker=trackers.get(members[0]) if tracked else None)
+            unit.tracked = tracked
             unit.virgin = bool(unit_payload.get("virgin", False))
             for index, member in enumerate(members):
                 payload = payloads[member]
@@ -657,6 +677,7 @@ class MultiQueryEngine:
                         limits=limits,
                         unit=unit,
                         callback=bool(payload["callback"]),
+                        tracked=bool(payload.get("tracked", False)),
                     ),
                     member == members[0],
                 )

@@ -66,7 +66,7 @@ class EvalUnit:
 
     __slots__ = (
         "tree", "limits", "sink", "engine",
-        "interest", "wants_all", "wants_text", "routable", "virgin",
+        "interest", "wants_all", "wants_text", "routable", "virgin", "tracked",
     )
 
     def __init__(
@@ -75,6 +75,7 @@ class EvalUnit:
         limits: ResourceLimits | None = None,
         engine_name: str | None = None,
         metrics=None,
+        tracker=None,
     ):
         from repro.core.processor import _ENGINES_BY_NAME, select_engine_class
         from repro.multiq.router import machine_alphabet
@@ -82,6 +83,10 @@ class EvalUnit:
         self.tree = tree
         self.limits = limits
         self.sink = MultiplexSink()
+        if tracker is not None:
+            # Candidate-lifetime tracking is a TwigM capability; fragment
+            # consumers (repro.transform) force the full machine.
+            engine_name = "twigm"
         if engine_name is None:
             engine_class = select_engine_class(tree)
         else:
@@ -89,20 +94,25 @@ class EvalUnit:
                 engine_class = _ENGINES_BY_NAME[engine_name]
             except KeyError:
                 raise ValueError(f"unknown engine {engine_name!r}") from None
+        kwargs = {} if tracker is None else {"tracker": tracker}
         if metrics is None:
-            self.engine = engine_class(tree, sink=self.sink, limits=limits)
+            self.engine = engine_class(tree, sink=self.sink, limits=limits,
+                                       **kwargs)
         else:
             from repro.obs.machines import OBS_ENGINES_BY_NAME
 
             obs_class = OBS_ENGINES_BY_NAME[engine_class.machine_name]
             self.engine = obs_class(tree, sink=self.sink, limits=limits,
-                                    metrics=metrics)
+                                    metrics=metrics, **kwargs)
         self.interest, self.wants_all, self.wants_text = machine_alphabet(
             self.engine.machine
         )
         # Limited machines count every event and probe every depth; they
         # must stay on the dispatcher's unfiltered path (see router.py).
         self.routable = limits is None
+        #: Tracked units never accept sharers, even while virgin: the
+        #: tracker observes one consumer's candidate lifetimes.
+        self.tracked = tracker is not None
         #: True until the unit processes its first event; only virgin
         #: units accept additional sharers (cold state ≡ fresh machine).
         self.virgin = True
@@ -136,6 +146,9 @@ class Registration:
     #: True when results are delivered through a callback (not collected);
     #: recorded so snapshots know how to rebuild the sink.
     callback: bool
+    #: True when the unit's machine runs with a candidate tracker
+    #: (fragment capture); recorded so restore can re-attach one.
+    tracked: bool = False
 
 
 class QueryRegistry:
@@ -199,15 +212,21 @@ class QueryRegistry:
         callback: bool = False,
         share: bool = True,
         metrics=None,
+        tracker=None,
     ) -> tuple[Registration, EvalUnit | None]:
         """Register ``name`` → ``query``; returns ``(registration, new_unit)``.
 
         ``new_unit`` is ``None`` when the query joined an existing unit
         (the caller only needs to route units it has not seen).
         ``share=False`` forces a dedicated unit regardless of dedup.
+        ``tracker`` attaches a :class:`~repro.core.twigm.CandidateTracker`
+        to the unit's machine (forcing TwigM and a dedicated unit — a
+        tracker observes exactly one consumer's candidate lifetimes).
         """
         if name in self._registrations:
             raise ValueError(f"duplicate query name {name!r}")
+        if tracker is not None:
+            share = False
         tree = canonicalize(query)
         source = tree.source if isinstance(query, QueryTree) else query
         key = dedup_key(tree, limits)
@@ -215,11 +234,12 @@ class QueryRegistry:
         created: EvalUnit | None = None
         if share:
             for candidate in self._units.get(key, ()):
-                if candidate.virgin:
+                if candidate.virgin and not candidate.tracked:
                     unit = candidate
                     break
         if unit is None:
-            unit = created = EvalUnit(tree, limits, metrics=metrics)
+            unit = created = EvalUnit(tree, limits, metrics=metrics,
+                                      tracker=tracker)
             self._units.setdefault(key, []).append(unit)
         unit.sink.add(name, sink)
         registration = Registration(
@@ -230,6 +250,7 @@ class QueryRegistry:
             limits=limits,
             unit=unit,
             callback=callback,
+            tracked=tracker is not None,
         )
         self._registrations[name] = registration
         return registration, created

@@ -124,6 +124,9 @@ class ServeClient:
         self.token: "str | None" = None
         #: Results by sequence number: seq -> (query name, node id).
         self.results: dict[int, tuple[str, int]] = {}
+        #: Transform-session fragments by sequence number (only results
+        #: that carried a serialized fragment appear here).
+        self.fragments: dict[int, str] = {}
         #: Highest result sequence number received.
         self.last_seq = 0
         #: Input offset the server has checkpointed (replay-buffer floor).
@@ -183,6 +186,14 @@ class ServeClient:
         return [
             node_id for _, (query, node_id) in sorted(self.results.items())
             if query == name
+        ]
+
+    def result_fragments(self, name: str) -> "list[str]":
+        """Fragment texts for transform query ``name``, in sequence order."""
+        return [
+            self.fragments[seq]
+            for seq, (query, _node_id) in sorted(self.results.items())
+            if query == name and seq in self.fragments
         ]
 
     def _backoff(self, attempt: int, retry_after: float) -> float:
@@ -364,6 +375,8 @@ class ServeClient:
         seq = int(payload["seq"])
         if seq not in self.results:
             self.results[seq] = (str(payload["query"]), int(payload["id"]))
+            if "fragment" in payload:
+                self.fragments[seq] = str(payload["fragment"])
         if seq > self.last_seq:
             self.last_seq = seq
         self._unracked += 1

@@ -261,10 +261,12 @@ class SessionServer:
         leftovers = frames[1:]
         conn_box: list[_Connection] = []
 
-        def on_result(name: str, node_id: int, seq: int) -> None:
-            conn_box[0].send(
-                FrameType.RESULT, {"seq": seq, "query": name, "id": node_id}
-            )
+        def on_result(name: str, node_id: int, seq: int,
+                      fragment: "str | None" = None) -> None:
+            payload = {"seq": seq, "query": name, "id": node_id}
+            if fragment is not None:
+                payload["fragment"] = fragment
+            conn_box[0].send(FrameType.RESULT, payload)
             self._m_results.inc()
 
         resume = hello.get("resume")
@@ -310,8 +312,12 @@ class SessionServer:
         })
         # Log-tail results the dying connection never delivered: replay
         # cannot regenerate these, the checkpoint log is their only copy.
-        for seq, name, node_id in session.pending_replay:
-            conn.send(FrameType.RESULT, {"seq": seq, "query": name, "id": node_id})
+        for entry in session.pending_replay:
+            seq, name, node_id = entry[0], entry[1], entry[2]
+            payload = {"seq": seq, "query": name, "id": node_id}
+            if len(entry) > 3:  # transform sessions log the fragment too
+                payload["fragment"] = entry[3]
+            conn.send(FrameType.RESULT, payload)
             self._m_results.inc()
         session.pending_replay = []
         await conn.drain()
@@ -371,11 +377,13 @@ class SessionServer:
             "seq": int(done_payload.get("seq", 0)),
             "shard": self.shard_index,
         }))
-        for seq, name, node_id in blob.get("result_log", []):
+        for entry in blob.get("result_log", []):
+            seq = entry[0]
             if seq > last_seq:
-                writer.write(encode_json(
-                    FrameType.RESULT, {"seq": seq, "query": name, "id": node_id}
-                ))
+                payload = {"seq": seq, "query": entry[1], "id": entry[2]}
+                if len(entry) > 3:
+                    payload["fragment"] = entry[3]
+                writer.write(encode_json(FrameType.RESULT, payload))
                 self._m_results.inc()
         writer.write(encode_json(FrameType.DONE, done_payload))
         await writer.drain()

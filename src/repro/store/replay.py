@@ -40,7 +40,8 @@ from repro.store.log import (
     StoreError,
 )
 
-__all__ = ["ingest", "replay", "catch_up", "IngestResult", "CatchUpResult"]
+__all__ = ["ingest", "replay", "replay_into", "catch_up", "IngestResult",
+           "CatchUpResult"]
 
 
 @dataclass
@@ -248,6 +249,50 @@ def replay(
         return list(engine.results)
     except AttributeError:
         return []
+
+
+def replay_into(
+    handler,
+    path: str,
+    *,
+    start_event: int = 0,
+    from_checkpoint: "int | None" = None,
+    limits: ResourceLimits | None = None,
+    stats: "ReplayStats | None" = None,
+    metrics=None,
+    close: bool = True,
+):
+    """Drive any push :class:`~repro.stream.events.EventHandler` from
+    recorded history — the transform-over-replay hook.
+
+    Unlike :func:`replay`, no alphabet-driven segment skipping is
+    applied: a stream *consumer* (a
+    :class:`~repro.transform.extract.SubstreamExtractor`, a
+    :class:`~repro.transform.rewrite.RewriteEngine`, a serializer) needs
+    the content of matched subtrees, not just the events its machines
+    dispatch on, so skipping segments by query alphabet would drop
+    fragment content.  Events are decoded under ``limits`` exactly as in
+    :func:`replay`.
+
+    ``from_checkpoint`` positions the replay at that checkpoint's event
+    offset (the handler must already carry matching state — e.g. a
+    transform restored from a snapshot taken at the same offset);
+    ``start_event`` positions it explicitly.  With ``close`` (default)
+    the handler's ``close()`` result is returned after the last event.
+    """
+    reader = EventLogReader(path, limits=limits, metrics=metrics)
+    start = start_event
+    if from_checkpoint is not None:
+        record = reader.load_checkpoint(from_checkpoint)
+        start = int(record["event"])
+    from repro.stream.events import events_to_handler
+
+    events_to_handler(reader.events(start, stats=stats), handler)
+    if close:
+        close_handler = getattr(handler, "close", None)
+        if close_handler is not None:
+            return close_handler()
+    return None
 
 
 @dataclass

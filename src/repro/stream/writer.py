@@ -2,20 +2,37 @@
 
 Used by the dataset generators (which build documents as event streams and
 need files on disk), by the result sink when fragment output is requested
-(footnote 3 of the paper: the implementation returns XML fragments), and
-by round-trip tests.
+(footnote 3 of the paper: the implementation returns XML fragments), by
+the transformation layer (:mod:`repro.transform`, through
+:class:`IncrementalXmlWriter`), and by round-trip tests.
+
+Escaping is round-trip exact: a parse of the serialized text yields the
+original event stream byte-for-byte.  That forces two character
+references beyond the usual ``& < > "`` set — ``\\r`` in character data
+(XML end-of-line normalization would fold a literal one into ``\\n``)
+and ``\\t``/``\\n``/``\\r`` in attribute values (attribute-value
+normalization would fold literal ones into spaces).
 """
 
 from __future__ import annotations
 
 import io
-from typing import IO, Iterable
+from typing import IO, Callable, Iterable
 
+from repro.errors import CheckpointError
 from repro.stream.document import Document, Element
 from repro.stream.events import Characters, EndElement, Event, StartElement
 
-_TEXT_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
-_ATTR_ESCAPES = {**_TEXT_ESCAPES, '"': "&quot;"}
+_TEXT_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;", "\r": "&#13;"}
+_ATTR_ESCAPES = {
+    "&": "&amp;",
+    "<": "&lt;",
+    ">": "&gt;",
+    "\r": "&#13;",
+    '"': "&quot;",
+    "\t": "&#9;",
+    "\n": "&#10;",
+}
 
 
 def escape_text(text: str) -> str:
@@ -87,6 +104,194 @@ def events_to_string(events: Iterable[Event], indent: str | None = None) -> str:
     buffer = io.StringIO()
     write_events(events, buffer, indent=indent)
     return buffer.getvalue()
+
+
+#: Version of the incremental-writer snapshot schema.
+WRITER_SNAPSHOT_VERSION = 1
+
+#: Default flush threshold of :class:`IncrementalXmlWriter` (characters).
+DEFAULT_WRITER_CHUNK = 16384
+
+
+class IncrementalXmlWriter:
+    """Push-mode, chunked XML serialization — the streaming counterpart
+    of :func:`write_events`.
+
+    The writer implements the :class:`~repro.stream.events.EventHandler`
+    protocol, so it terminates any push pipeline: the fused scanner, a
+    :class:`~repro.multiq.engine.MultiQueryEngine` tee, or the
+    transformation layer can drive it callback-by-callback with no event
+    objects and no whole-document buffer.  Output accumulates in a small
+    staging buffer and is handed to ``on_chunk`` whenever it crosses
+    ``chunk_size`` (and on :meth:`flush`/:meth:`close`); with no
+    ``on_chunk`` the text collects internally until :meth:`getvalue`.
+
+    Output is compact (no indent) and byte-identical to
+    ``write_events(events, out)`` over the same event sequence — a
+    differential test pins that equivalence, so the two serializers
+    cannot drift.
+
+    The writer is checkpointable mid-document: :meth:`snapshot` first
+    flushes staged text to the consumer, then captures the withheld open
+    tag and the element stack, so a restored writer continues the same
+    byte stream exactly.  That is what lets a fragment that is half-way
+    out of a transform survive a snapshot/restore cycle
+    (:mod:`repro.transform`).
+    """
+
+    __slots__ = (
+        "_on_chunk", "_chunk_size", "_parts", "_staged",
+        "_open_has_children", "_pending_open", "bytes_written",
+    )
+
+    def __init__(
+        self,
+        on_chunk: "Callable[[str], None] | None" = None,
+        *,
+        chunk_size: int = DEFAULT_WRITER_CHUNK,
+    ):
+        self._on_chunk = on_chunk
+        self._chunk_size = chunk_size
+        self._parts: list[str] = []
+        self._staged = 0
+        self._open_has_children: list[bool] = []
+        self._pending_open: str | None = None  # "<tag attrs", form undecided
+        #: Characters emitted so far (staged text included).
+        self.bytes_written = 0
+
+    # -- EventHandler protocol -------------------------------------------
+
+    def start_element(self, tag, level, node_id, attributes) -> None:
+        self._commit_open()
+        if self._open_has_children:
+            self._open_has_children[-1] = True
+        self._open_has_children.append(False)
+        if attributes:
+            attrs = "".join(
+                f' {name}="{escape_attribute(value)}"'
+                for name, value in attributes.items()
+            )
+            self._pending_open = f"<{tag}{attrs}"
+        else:
+            self._pending_open = f"<{tag}"
+
+    def characters(self, text, level) -> None:
+        self._commit_open()
+        if self._open_has_children:
+            self._open_has_children[-1] = True
+        self._write(escape_text(text))
+
+    def end_element(self, tag, level) -> None:
+        had_children = self._open_has_children.pop()
+        if self._pending_open is not None and not had_children:
+            # The element held no content: self-close, skip the end tag.
+            self._write(self._pending_open + "/>")
+            self._pending_open = None
+            return
+        self._commit_open()
+        self._write(f"</{tag}>")
+
+    # -- output management ----------------------------------------------
+
+    def _commit_open(self) -> None:
+        """Any new output proves the pending element has content."""
+        if self._pending_open is not None:
+            self._write(self._pending_open + ">")
+            self._pending_open = None
+
+    def _write(self, text: str) -> None:
+        self._parts.append(text)
+        self._staged += len(text)
+        self.bytes_written += len(text)
+        if self._on_chunk is not None and self._staged >= self._chunk_size:
+            self.flush()
+
+    def flush(self) -> None:
+        """Hand staged text to the consumer (no-op in collect mode)."""
+        if self._on_chunk is None or not self._parts:
+            return
+        chunk = "".join(self._parts)
+        self._parts.clear()
+        self._staged = 0
+        self._on_chunk(chunk)
+
+    def close(self) -> None:
+        """Finish the document: commit a trailing open tag and flush.
+
+        A pending open tag at close means the stream was truncated; like
+        :func:`write_events`, it is committed in open form (never
+        self-closed) so the truncation stays visible.
+        """
+        self._commit_open()
+        self.flush()
+
+    def getvalue(self) -> str:
+        """Collected text (collect mode only — no ``on_chunk``)."""
+        if self._on_chunk is not None:
+            raise ValueError("getvalue() is for collect mode; chunks were "
+                             "delivered to on_chunk")
+        self._commit_open()
+        return "".join(self._parts)
+
+    @property
+    def collecting(self) -> bool:
+        """True in collect mode (no ``on_chunk``; text kept for
+        :meth:`getvalue`)."""
+        return self._on_chunk is None
+
+    @property
+    def depth(self) -> int:
+        """Currently open elements (0 between documents/fragments)."""
+        return len(self._open_has_children)
+
+    def reset(self) -> None:
+        """Drop all state for a fresh document (collect buffer included)."""
+        self._parts.clear()
+        self._staged = 0
+        self._open_has_children.clear()
+        self._pending_open = None
+
+    # -- checkpointing ---------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Capture mid-document serializer state (flushes staged text)."""
+        self.flush()
+        return {
+            "version": WRITER_SNAPSHOT_VERSION,
+            "open": list(self._open_has_children),
+            "pending": self._pending_open,
+            "buffer": "".join(self._parts) if self._on_chunk is None else "",
+            "bytes_written": self.bytes_written,
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        snapshot: dict,
+        on_chunk: "Callable[[str], None] | None" = None,
+        *,
+        chunk_size: int = DEFAULT_WRITER_CHUNK,
+    ) -> "IncrementalXmlWriter":
+        """Rebuild a writer from a :meth:`snapshot` capture."""
+        version = snapshot.get("version")
+        if version != WRITER_SNAPSHOT_VERSION:
+            raise CheckpointError(
+                f"unsupported writer snapshot version {version!r} "
+                f"(expected {WRITER_SNAPSHOT_VERSION})"
+            )
+        try:
+            writer = cls(on_chunk, chunk_size=chunk_size)
+            writer._open_has_children = [bool(flag) for flag in snapshot["open"]]
+            pending = snapshot["pending"]
+            writer._pending_open = str(pending) if pending is not None else None
+            buffer = snapshot.get("buffer", "")
+            if buffer:
+                writer._parts.append(buffer)
+                writer._staged = len(buffer)
+            writer.bytes_written = int(snapshot.get("bytes_written", 0))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed writer snapshot: {exc}") from exc
+        return writer
 
 
 def element_to_string(element: Element) -> str:

@@ -1,0 +1,65 @@
+"""Streaming transformation layer: substream extraction and rewrite.
+
+The seventh subsystem (see docs/TRANSFORM.md): on top of the TwigM
+matcher and the multi-query dispatcher, this package turns *node-id
+answers* into *stream answers* —
+
+* :func:`~repro.transform.extract.select` /
+  :class:`~repro.transform.extract.SubstreamExtractor` — each match of a
+  query emitted as a well-formed XML fragment, serialized incrementally;
+* :class:`~repro.transform.rewrite.RewriteEngine` with ordered
+  :class:`~repro.transform.rewrite.RewriteRule` s — py:match-style
+  streaming rewrite (drop/replace/rename/wrap/callback/extract);
+* :mod:`~repro.transform.combinators` — tee/split/merge/filter composing
+  transforms over one tokenizer pass with dead-branch skipping.
+
+Both transform faces implement the push
+:class:`~repro.stream.events.EventHandler` protocol, produce identical
+output under pull and push pipelines, and snapshot()/restore() so they
+ride the serving layer's checkpoints and the durable store's replay.
+"""
+
+from repro.transform.base import TRANSFORM_SNAPSHOT_VERSION, immediate_match
+from repro.transform.combinators import (
+    FragmentMerger,
+    Tee,
+    filter_stream,
+    merge,
+    split,
+    tee,
+)
+from repro.transform.extract import Fragment, SubstreamExtractor, select
+from repro.transform.rewrite import (
+    RewriteEngine,
+    RewriteRule,
+    callback,
+    drop,
+    extract,
+    rename,
+    replace,
+    rewrite_string,
+    wrap,
+)
+
+__all__ = [
+    "TRANSFORM_SNAPSHOT_VERSION",
+    "immediate_match",
+    "Fragment",
+    "SubstreamExtractor",
+    "select",
+    "RewriteEngine",
+    "RewriteRule",
+    "drop",
+    "replace",
+    "rename",
+    "wrap",
+    "callback",
+    "extract",
+    "rewrite_string",
+    "Tee",
+    "tee",
+    "split",
+    "merge",
+    "FragmentMerger",
+    "filter_stream",
+]

@@ -1,0 +1,161 @@
+"""Transform sessions in the serving layer (``select:`` queries).
+
+A session whose queries carry the ``select:`` prefix delivers each
+match's serialized XML fragment with the result, rides the same
+checkpoint/resume machinery as match sessions (fragments live in the
+unacknowledged-result log), and keeps the byte-identical-resume
+guarantee including mid-fragment kills.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve.session import ServeConfig, Session, SessionRejected
+
+XML = (
+    "<site><items>"
+    + "".join(
+        f'<item id="{i}"><name>thing{i}</name><qty>{i}</qty></item>'
+        for i in range(12)
+    )
+    + "</items></site>"
+)
+
+CONFIG = ServeConfig(checkpoint_interval=2)
+
+
+def open_transform(queries: dict, config: ServeConfig = CONFIG):
+    results: list[tuple[int, str, int, "str | None"]] = []
+
+    def on_result(name, node_id, seq, fragment=None):
+        results.append((seq, name, node_id, fragment))
+
+    session = Session.open({"queries": queries}, config, on_result)
+    return session, results
+
+
+class TestAdmission:
+    def test_transform_query_admitted(self):
+        session, _ = open_transform({"names": "select://item/name"})
+        assert session.queries == {"names": "select://item/name"}
+
+    def test_mixed_queries_rejected(self):
+        with pytest.raises(SessionRejected) as info:
+            Session.open(
+                {"queries": {"a": "select://x", "b": "//y"}},
+                CONFIG, lambda *a: None,
+            )
+        assert info.value.payload["code"] == "mixed_queries"
+
+    def test_bad_transform_query_rejected(self):
+        with pytest.raises(SessionRejected) as info:
+            Session.open(
+                {"queries": {"bad": "select://a[["}},
+                CONFIG, lambda *a: None,
+            )
+        assert info.value.payload["code"] == "bad_query"
+
+
+class TestResults:
+    def test_fragments_delivered_with_results(self):
+        session, results = open_transform({"names": "select://item/name"})
+        session.feed(0, XML)
+        done = session.finish()
+        assert done["counts"] == {"names": 12}
+        assert [r[3] for r in results[:2]] == [
+            "<name>thing0</name>", "<name>thing1</name>",
+        ]
+        # Sequence numbers are the global result order.
+        assert [r[0] for r in results] == list(range(1, 13))
+
+    def test_result_log_carries_fragments(self):
+        session, _ = open_transform({"names": "select://item/name"})
+        session.feed(0, XML)
+        assert session.result_log[0][3] == "<name>thing0</name>"
+
+    def test_predicate_transform_query(self):
+        session, results = open_transform(
+            {"q": 'select://item[qty = "3"]'}
+        )
+        session.feed(0, XML)
+        session.finish()
+        assert len(results) == 1
+        assert 'id="3"' in results[1 - 1][3]
+
+
+class TestCheckpointResume:
+    def test_blob_kind_and_roundtrip(self):
+        session, _ = open_transform({"names": "select://item/name"})
+        session.feed(0, XML[:100])
+        blob = json.loads(json.dumps(session.checkpoint()))
+        assert blob["kind"] == "transform"
+        assert blob["queries"] == {"names": "select://item/name"}
+
+    def test_mid_fragment_resume_is_byte_identical(self):
+        reference, ref_results = open_transform(
+            {"items": "select://item"})
+        reference.feed(0, XML)
+        reference.finish()
+
+        session, live = open_transform({"items": "select://item"})
+        cut = XML.index("<qty>5")  # inside item 5's subtree
+        session.feed(0, XML[:cut])
+        blob = json.loads(json.dumps(session.checkpoint()))
+
+        resumed_results = []
+
+        def on_result(name, node_id, seq, fragment=None):
+            resumed_results.append((seq, name, node_id, fragment))
+
+        resumed = Session.resume(blob, CONFIG, on_result,
+                                 last_result_seq=live[-1][0] if live else 0)
+        assert not resumed.pending_replay  # client held everything
+        resumed.feed(cut, XML[cut:])
+        resumed.finish()
+        assert live + resumed_results == ref_results
+
+    def test_pending_replay_resends_fragment_tail(self):
+        session, live = open_transform({"names": "select://item/name"})
+        session.feed(0, XML[:len(XML) // 2])
+        blob = json.loads(json.dumps(session.checkpoint()))
+        assert live  # some results emitted pre-checkpoint
+
+        # The client confirmed nothing: the whole log tail must re-send,
+        # fragments included.
+        resumed = Session.resume(blob, CONFIG, lambda *a: None,
+                                 last_result_seq=0)
+        assert resumed.pending_replay == [list(r) for r in live]
+        assert all(len(entry) == 4 for entry in resumed.pending_replay)
+
+    def test_suppression_skips_held_results(self):
+        session, live = open_transform({"names": "select://item/name"})
+        session.feed(0, XML[:len(XML) // 2])
+        blob = json.loads(json.dumps(session.checkpoint()))
+        held = live[-1][0]
+
+        replayed = []
+
+        def on_result(name, node_id, seq, fragment=None):
+            replayed.append(seq)
+
+        resumed = Session.resume(blob, CONFIG, on_result,
+                                 last_result_seq=held)
+        resumed.feed(blob["input_offset"], XML[blob["input_offset"]:])
+        resumed.finish()
+        assert all(seq > held for seq in replayed)
+
+
+class TestMatchSessionsUnchanged:
+    def test_plain_session_on_result_arity(self):
+        """Non-transform sessions still call on_result with three args."""
+        calls = []
+        session = Session.open(
+            {"queries": {"q": "//item"}}, CONFIG,
+            lambda name, node_id, seq: calls.append((name, node_id, seq)),
+        )
+        session.feed(0, XML)
+        session.finish()
+        assert len(calls) == 12

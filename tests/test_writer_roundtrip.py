@@ -1,0 +1,102 @@
+"""Round-trip fuzz: seeded random documents survive write → parse.
+
+The satellite contract of the transform PR: for a corpus of seeded
+random event streams, ``write_events`` → tokenizer reproduces the exact
+event sequence — levels, node ids, attribute values (including the
+whitespace characters the writer must escape to survive attribute-value
+normalization) and text content.
+"""
+
+import random
+
+import pytest
+
+from repro.stream.events import Characters, EndElement, StartElement
+from repro.stream.tokenizer import parse_string
+from repro.stream.writer import events_to_string
+from repro.transform.extract import SubstreamExtractor
+
+TAGS = ["alpha", "beta", "gamma", "delta", "ns-like", "x1"]
+TEXT_POOL = [
+    "plain", "a & b", "less<than", "greater>than", "quote\"s", "tick's",
+    "tab\tseparated", "line\nbreak", "  padded  ", "&amp;", "]]>",
+]
+ATTR_POOL = [
+    "v", 'say "hi"', "a&b", "<angle>", "tab\there", "new\nline",
+    "return\rhere", "mixed \t\n\r all",
+]
+
+
+def random_events(rng, max_depth=5, max_children=4):
+    """One random well-formed document as a modified-SAX event list."""
+    events = []
+    counter = [0]
+
+    def element(level):
+        counter[0] += 1
+        node_id = counter[0]
+        tag = rng.choice(TAGS)
+        attributes = {
+            f"a{i}": rng.choice(ATTR_POOL)
+            for i in range(rng.randint(0, 3))
+        }
+        events.append(StartElement(tag, level, node_id, attributes))
+        last_was_text = False
+        if level < max_depth:
+            for _ in range(rng.randint(0, max_children)):
+                if rng.random() < 0.4:
+                    if not last_was_text:  # adjacent text nodes would merge
+                        events.append(
+                            Characters(rng.choice(TEXT_POOL), level)
+                        )
+                        last_was_text = True
+                else:
+                    element(level + 1)
+                    last_was_text = False
+        events.append(EndElement(tag, level))
+
+    element(1)
+    return events
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_seeded_round_trip_identity(seed):
+    rng = random.Random(seed)
+    events = random_events(rng)
+    serialized = events_to_string(events)
+    reparsed = list(parse_string(serialized, skip_whitespace=False))
+    assert reparsed == events
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_serialization_is_stable(seed):
+    """write → parse → write is a fixed point (canonical form)."""
+    rng = random.Random(1000 + seed)
+    once = events_to_string(random_events(rng))
+    twice = events_to_string(list(parse_string(once, skip_whitespace=False)))
+    assert twice == once
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_extracted_fragments_reparse(seed):
+    """Every extracted fragment re-parses to a well-formed stream whose
+    serialization is the fragment itself."""
+    rng = random.Random(2000 + seed)
+    document = events_to_string(random_events(rng))
+    extractor = SubstreamExtractor("//alpha")
+    extractor.feed_text(document)
+    for fragment in extractor.close():
+        events = list(parse_string(fragment.text, skip_whitespace=False))
+        assert events[0].level == 1
+        assert events_to_string(events) == fragment.text
+
+
+def test_attribute_whitespace_survives():
+    events = [
+        StartElement("a", 1, 1, {"k": "x\ny\tz\rw"}),
+        EndElement("a", 1),
+    ]
+    serialized = events_to_string(events)
+    assert "&#10;" in serialized and "&#9;" in serialized \
+        and "&#13;" in serialized
+    assert list(parse_string(serialized, skip_whitespace=False)) == events
