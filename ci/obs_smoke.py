@@ -18,6 +18,10 @@ Gates the acceptance properties of the ``repro.obs`` layer:
    report exactly what an uninterrupted run reports.
 5. **Exposition round-trips** — the Prometheus text parses back into
    the same samples the snapshot reports, and the JSON rendering loads.
+6. **Compiled tiers report in** — a ``compiled=True`` run with metrics
+   populates the ``repro_compile_*`` families (DFA cache size, hit
+   ratio, fallbacks), returns unchanged solution ids, and a compiled
+   run *without* metrics must not touch the obs layer at all.
 
 Run from the repo root::
 
@@ -211,6 +215,40 @@ def check_exposition(corpus) -> list[str]:
     return failures
 
 
+def check_compiled_metrics(corpus) -> list[str]:
+    """Compiled runs must publish repro_compile_* — and only when asked."""
+    failures = []
+    query = XMARK_QUERIES[0][0]  # predicate-free: exercises the DFA tier
+    plain = XPathStream(query, compiled=True).evaluate_push(corpus.path)
+
+    registry = MetricsRegistry()
+    observed = XPathStream(query, compiled=True, metrics=registry)
+    ids = observed.evaluate_push(corpus.path)
+    if ids != plain:
+        failures.append("metrics changed compiled-tier results")
+    rendered = registry.render_prometheus()
+    for family in (
+        "repro_compile_dfa_states",
+        "repro_compile_dfa_transitions",
+        "repro_compile_dfa_starts_total",
+        "repro_compile_dfa_misses_total",
+        "repro_compile_hit_ratio",
+        "repro_compile_fallbacks_total",
+    ):
+        if family not in rendered:
+            failures.append(f"{family} absent after a compiled run")
+    publisher_attr = "_compile_publisher"
+    if not hasattr(registry, publisher_attr):
+        failures.append("compiled run with metrics never bound a publisher")
+
+    # Zero-cost-when-off: no publisher, no obs imports on the machine.
+    bare = XPathStream(query, compiled=True)
+    bare.evaluate_push(corpus.path)
+    if hasattr(bare.push_handler(), "registry"):
+        failures.append("compiled run without metrics bound a registry")
+    return failures
+
+
 def main() -> int:
     corpus = benchmark_corpus()
     print(f"obs smoke: {corpus.name} ({corpus.size_bytes()} bytes)")
@@ -224,6 +262,8 @@ def main() -> int:
     failures += check_checkpoint_continuity(corpus)
     print("  exposition round-trip")
     failures += check_exposition(corpus)
+    print("  compiled-tier metric families")
+    failures += check_compiled_metrics(corpus)
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     if failures:

@@ -1,17 +1,26 @@
 """CI smoke: the fused push pipeline must be faster than pull — and exact.
 
-Checks the two acceptance properties of the hot-path work:
+Checks the acceptance properties of the hot-path and compiled-tier work:
 
 1. **Exactness** — the push scanner emits an event stream byte-identical
    to the pull scanner over the XMark corpus, and every benchmark query
-   returns identical solution ids through both pipelines (also asserted
-   inside the benchmark itself).
+   returns identical solution ids through pull, push, *and* the compiled
+   tiers (also asserted inside the benchmark itself).
 2. **Throughput win** — push beats pull by at least ``MIN_SPEEDUP`` on
    every XMark query.  The local target is 2x (see ``BENCH_core.json``);
    the CI gate is 1.5x to leave headroom for noisy shared runners.
+3. **Compiled-tier win** — the lazy-DFA + turbo-scanner path beats pull
+   by ``COMPILED_MIN_SPEEDUP`` on every predicate-free XMark query at
+   the gate profile, and no query loses more than noise headroom
+   (``COMPILED_PUSH_FLOOR``) against the current push pipeline.  The
+   recorded target is 10x at the default profile; the gate numbers leave
+   headroom for noisy shared runners.
 
 It then runs the full benchmark at the default profile and writes
-``BENCH_core.json`` so the perf trajectory is recorded per commit.
+``BENCH_core.json`` so the perf trajectory is recorded per commit; the
+recorded summary must itself meet the 10x compiled target (one retry —
+the compiled configs finish in milliseconds, so a single descheduling
+blip can dent a best-of on shared runners).
 
 Run from the repo root::
 
@@ -28,7 +37,19 @@ from repro.stream.events import EventCollector
 from repro.stream.tokenizer import XmlTokenizer, iter_text_chunks
 
 MIN_SPEEDUP = 1.5
+#: Gate-profile bar for compiled-vs-pull on predicate-free XMark queries
+#: (recorded target: 10x at the default profile; typical tiny-profile
+#: readings are 10-12x).
+COMPILED_MIN_SPEEDUP = 6.0
+#: Compiled must not lose to push anywhere; generated TwigM dispatch is
+#: at parity on tokenizer-dominated value-test queries, so the gate
+#: allows measurement noise below 1.0.
+COMPILED_PUSH_FLOOR = 0.8
 GATE_PROFILE = "tiny"
+#: Repeats for the recorded run: the compiled configs are fast enough
+#: that best-of needs more samples to shake scheduler noise out of the
+#: recorded speedups.
+RECORD_REPEATS = 8
 REPORT = "BENCH_core.json"
 
 
@@ -60,8 +81,10 @@ def main() -> int:
     failures = 0
     for key, corpus_report in gate["corpora"].items():
         for query, row in corpus_report["queries"].items():
-            print(f"  {key}  {query}: {row['speedup']}x "
-                  f"({row['matches']} matches, both pipelines)")
+            print(f"  {key}  {query}: push {row['speedup']}x, "
+                  f"compiled {row['compiled_vs_pull']}x vs pull / "
+                  f"{row['compiled_vs_push']}x vs push "
+                  f"({row['matches']} matches, all pipelines)")
             if key == "xmark" and row["speedup"] < MIN_SPEEDUP:
                 failures += 1
                 print(
@@ -69,15 +92,57 @@ def main() -> int:
                     f"(gate: {MIN_SPEEDUP}x)",
                     file=sys.stderr,
                 )
+            if (
+                key == "xmark"
+                and row["engine"] == "pathm"
+                and row["compiled_vs_pull"] < COMPILED_MIN_SPEEDUP
+            ):
+                failures += 1
+                print(
+                    f"FAIL: compiled is only {row['compiled_vs_pull']}x pull "
+                    f"for predicate-free {query!r} "
+                    f"(gate: {COMPILED_MIN_SPEEDUP}x)",
+                    file=sys.stderr,
+                )
+            if row["compiled_vs_push"] < COMPILED_PUSH_FLOOR:
+                failures += 1
+                print(
+                    f"FAIL: compiled is {row['compiled_vs_push']}x push for "
+                    f"{query!r} (floor: {COMPILED_PUSH_FLOOR}x)",
+                    file=sys.stderr,
+                )
     if failures:
         return 1
 
-    payload = run_benchmark()
+    # Recorded run: the summary written to BENCH_core.json must meet the
+    # 10x compiled target.  One retry absorbs a descheduling blip.
+    for attempt in (1, 2):
+        payload = run_benchmark(repeats=RECORD_REPEATS)
+        if payload["summary"]["compiled"]["xmark_pf_target_met"]:
+            break
+        if attempt == 1:
+            print(f"  compiled minimum "
+                  f"{payload['summary']['compiled']['xmark_pf_min_vs_pull']}x "
+                  f"below target on first recorded run, retrying",
+                  file=sys.stderr)
     write_report(payload, REPORT)
     summary = payload["summary"]
-    print(f"  recorded XMark minimum {summary['xmark_min_push_vs_pull']}x "
+    compiled = summary["compiled"]
+    print(f"  recorded XMark push minimum {summary['xmark_min_push_vs_pull']}x "
           f"(local target {summary['xmark_target']}x)")
+    print(f"  recorded XMark predicate-free compiled minimum "
+          f"{compiled['xmark_pf_min_vs_pull']}x "
+          f"(target {compiled['xmark_pf_target']}x), "
+          f"compiled-vs-push minimum {compiled['min_vs_push']}x")
     print(f"wrote {REPORT}")
+    if not compiled["xmark_pf_target_met"]:
+        print(
+            f"FAIL: recorded compiled minimum "
+            f"{compiled['xmark_pf_min_vs_pull']}x is below the "
+            f"{compiled['xmark_pf_target']}x target",
+            file=sys.stderr,
+        )
+        return 1
     print("perf smoke: OK")
     return 0
 

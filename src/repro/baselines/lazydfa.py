@@ -10,17 +10,12 @@ occur in the data.  The stand-in keeps its signature behaviours:
   missing bars of figures 7/8;
 * **state blow-up** with multiple wildcards: the subset construction can
   create exponentially many states, which the paper cites as XMLTK's
-  weakness on '*'-heavy queries (exposed via :attr:`dfa_state_count`).
+  weakness on '*'-heavy queries (exposed via ``LazyDfa.state_count``).
 
-NFA construction: state ``i`` = "the first ``i`` trunk steps are
-matched".  On an element with tag ``t``, from state-set ``S``::
-
-    T = {i+1 | i ∈ S, step[i+1] admits t}        (advance)
-      ∪ {i   | i ∈ S, step[i+1] has axis '//'}   (stay, descendant scope)
-
-The machine pushes the DFA state for each start tag and pops on the end
-tag; reaching a state containing the accept position emits the node id —
-output is immediate, as in PathM.
+The NFA and subset construction live in :mod:`repro.compile.nfa`,
+shared with the production DFA front-end (:mod:`repro.compile.dfa`) so
+the baseline and the shipped engine cannot drift; this module is a thin
+event-loop wrapper around that core.
 """
 
 from __future__ import annotations
@@ -28,91 +23,15 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.baselines.common import Engine, as_query_tree
+from repro.compile.nfa import LazyDfa, Step, subset_step, trunk_steps
 from repro.core.results import CollectingSink, ResultSink
-from repro.errors import UnsupportedQueryError
 from repro.stream.events import EndElement, Event, StartElement
-from repro.xpath.querytree import CHILD_EDGE, DESCENDANT_EDGE, QueryTree
 
+# Backwards-compatible aliases for the pre-promotion private names.
+_Step = Step
+_trunk_steps = trunk_steps
 
-class _Step:
-    """One trunk step of the path query, precompiled for the NFA."""
-
-    __slots__ = ("name", "wildcard", "descendant")
-
-    def __init__(self, name: str, descendant: bool):
-        self.name = name
-        self.wildcard = name == "*"
-        self.descendant = descendant
-
-    def admits(self, tag: str) -> bool:
-        return self.wildcard or self.name == tag
-
-
-def _trunk_steps(query: QueryTree) -> list[_Step]:
-    steps: list[_Step] = []
-    qnode = query.root
-    while True:
-        steps.append(_Step(qnode.name, qnode.axis == DESCENDANT_EDGE))
-        if qnode.is_return:
-            break
-        qnode = next(child for child in qnode.children if child.on_trunk)
-    return steps
-
-
-class LazyDfa:
-    """The lazily-determinised automaton for one path query."""
-
-    def __init__(self, query: QueryTree):
-        if query.has_branches():
-            raise UnsupportedQueryError(
-                f"the lazy-DFA engine evaluates XP{{/,//,*}} only; "
-                f"{query.source!r} has predicates"
-            )
-        self._steps = _trunk_steps(query)
-        self._accept = len(self._steps)
-        self._initial = frozenset([0])
-        #: (state, tag) -> state transition cache; grows lazily.
-        self._transitions: dict[tuple[frozenset[int], str], frozenset[int]] = {}
-        #: All distinct DFA states materialised so far.
-        self._states: set[frozenset[int]] = {self._initial}
-
-    @property
-    def initial(self) -> frozenset[int]:
-        return self._initial
-
-    @property
-    def accept_position(self) -> int:
-        return self._accept
-
-    @property
-    def state_count(self) -> int:
-        """Number of DFA states built — the lazy construction's footprint."""
-        return len(self._states)
-
-    @property
-    def transition_count(self) -> int:
-        return len(self._transitions)
-
-    def step(self, state: frozenset[int], tag: str) -> frozenset[int]:
-        """The (cached) DFA transition for ``tag`` out of ``state``."""
-        key = (state, tag)
-        cached = self._transitions.get(key)
-        if cached is not None:
-            return cached
-        steps = self._steps
-        accept = self._accept
-        nxt: set[int] = set()
-        for position in state:
-            if position < accept:
-                following = steps[position]
-                if following.admits(tag):
-                    nxt.add(position + 1)
-                if following.descendant:
-                    nxt.add(position)
-        result = frozenset(nxt)
-        self._transitions[key] = result
-        self._states.add(result)
-        return result
+__all__ = ["LazyDfa", "LazyDfaEngine", "Step", "subset_step", "trunk_steps"]
 
 
 class LazyDfaEngine(Engine):

@@ -10,6 +10,10 @@ be attributed:
   generator hops; the reference implementation).
 * **push pipeline** — :meth:`XPathStream.evaluate_push` (fused regex
   scan → direct machine callbacks; see :mod:`repro.perf`).
+* **compiled pipeline** — ``XPathStream(query, compiled=True)``
+  ``.evaluate_push`` (query-specialized tiers from :mod:`repro.compile`:
+  the lazy-DFA front-end plus turbo scanner for predicate-free paths,
+  generated dispatch for the rest).
 
 Two corpora bracket the workload space: the XMark auction document
 (broad vocabulary, attribute-heavy, realistic text) and a synthetic
@@ -29,6 +33,7 @@ corpus, one repeat) is what ``ci/perf_smoke.py`` uses.
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import time
 
@@ -41,6 +46,7 @@ from repro.stream.tokenizer import XmlTokenizer, iter_text_chunks
 #: three machines and the value-test character path.
 XMARK_QUERIES = (
     ("//regions//item/name", "PathM; '//' recursion over a broad document"),
+    ("//description//text", "PathM; '//' into recursive parlist content"),
     ("//open_auction[bidder/personref]//reserve", "TwigM; structural predicate"),
     ("//item[quantity < 2]/name", "TwigM; value test (characters hot path)"),
 )
@@ -59,6 +65,10 @@ CHAIN_SHAPES = {
 #: Acceptance bar recorded in the summary: push must beat pull by this
 #: factor on every XMark query (the ISSUE's headline target).
 XMARK_TARGET = 2.0
+
+#: Compiled-tier bar: the lazy-DFA + turbo-scanner path must beat pull
+#: by this factor on every predicate-free XMark query (ISSUE 9).
+COMPILED_TARGET = 10.0
 
 
 def chain_corpus(profile: str = DEFAULT_PROFILE) -> Corpus:
@@ -90,10 +100,23 @@ def chain_corpus(profile: str = DEFAULT_PROFILE) -> Corpus:
 
 
 def _best_of(repeats: int, run) -> float:
-    """Best wall time of ``repeats`` calls of the zero-arg ``run``."""
+    """Best wall time of ``repeats`` calls of the zero-arg ``run``.
+
+    Collection is disabled around each timed call (as ``timeit`` does):
+    a cycle-collection pause landing inside one config but not another
+    would otherwise skew the recorded speedups, which matters once the
+    fast configs finish in milliseconds.
+    """
     best = float("inf")
-    for _ in range(max(1, repeats)):
-        best = min(best, run())
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(max(1, repeats)):
+            gc.collect()
+            best = min(best, run())
+    finally:
+        if was_enabled:
+            gc.enable()
     return best
 
 
@@ -127,8 +150,10 @@ def _time_tokenizer_push(path) -> tuple[float, int]:
     return time.perf_counter() - started, handler.total
 
 
-def _time_pipeline(query: str, path, push: bool) -> tuple[float, list[int]]:
-    stream = XPathStream(query)
+def _time_pipeline(
+    query: str, path, push: bool, compiled: bool = False
+) -> tuple[float, list[int]]:
+    stream = XPathStream(query, compiled=compiled)
     evaluate = stream.evaluate_push if push else stream.evaluate
     started = time.perf_counter()
     ids = evaluate(path)
@@ -175,6 +200,7 @@ def bench_corpus(corpus: Corpus, queries, repeats: int) -> dict:
     for query, why in queries:
         pull_ids: list[list[int]] = []
         push_ids: list[list[int]] = []
+        compiled_ids: list[list[int]] = []
 
         def run_pull() -> float:
             seconds, ids = _time_pipeline(query, path, push=False)
@@ -186,20 +212,39 @@ def bench_corpus(corpus: Corpus, queries, repeats: int) -> dict:
             push_ids.append(ids)
             return seconds
 
+        def run_compiled() -> float:
+            seconds, ids = _time_pipeline(query, path, push=True, compiled=True)
+            compiled_ids.append(ids)
+            return seconds
+
         q_pull = _best_of(repeats, run_pull)
         q_push = _best_of(repeats, run_push)
+        q_compiled = _best_of(repeats, run_compiled)
         if pull_ids[0] != push_ids[0]:
             raise AssertionError(
                 f"{corpus.name} {query!r}: pull and push disagree "
                 f"({len(pull_ids[0])} vs {len(push_ids[0])} ids)"
             )
+        if pull_ids[0] != compiled_ids[0]:
+            raise AssertionError(
+                f"{corpus.name} {query!r}: pull and compiled disagree "
+                f"({len(pull_ids[0])} vs {len(compiled_ids[0])} ids)"
+            )
         report["queries"][query] = {
             "engine": XPathStream(query).engine_name,
+            "compiled_engine": XPathStream(query, compiled=True).engine_name,
             "why": why,
             "matches": len(pull_ids[0]),
             "pull": _rates(q_pull, size, events),
             "push": _rates(q_push, size, events),
+            "compiled": _rates(q_compiled, size, events),
             "speedup": round(q_pull / q_push, 2) if q_push else None,
+            "compiled_vs_pull": (
+                round(q_pull / q_compiled, 2) if q_compiled else None
+            ),
+            "compiled_vs_push": (
+                round(q_push / q_compiled, 2) if q_compiled else None
+            ),
         }
     return report
 
@@ -230,6 +275,29 @@ def run_benchmark(profile: str = DEFAULT_PROFILE, repeats: int = 3) -> dict:
             xmark_speedups and min(xmark_speedups) >= XMARK_TARGET
         ),
     }
+    # Compiled-tier summary: the 10x bar applies to predicate-free XMark
+    # queries (those the interpreted selector routes to PathM — exactly
+    # the class the lazy-DFA front-end accepts); everywhere else the
+    # compiled tiers must at least not lose to the current push path.
+    pf_vs_pull = [
+        row["compiled_vs_pull"]
+        for row in payload["corpora"]["xmark"]["queries"].values()
+        if row["engine"] == "pathm" and row["compiled_vs_pull"] is not None
+    ]
+    all_vs_push = [
+        row["compiled_vs_push"]
+        for corpus_report in payload["corpora"].values()
+        for row in corpus_report["queries"].values()
+        if row["compiled_vs_push"] is not None
+    ]
+    payload["summary"]["compiled"] = {
+        "xmark_pf_min_vs_pull": min(pf_vs_pull) if pf_vs_pull else None,
+        "xmark_pf_target": COMPILED_TARGET,
+        "xmark_pf_target_met": bool(
+            pf_vs_pull and min(pf_vs_pull) >= COMPILED_TARGET
+        ),
+        "min_vs_push": min(all_vs_push) if all_vs_push else None,
+    }
     return payload
 
 
@@ -252,16 +320,27 @@ def render(payload: dict) -> str:
         )
         for query, row in corpus["queries"].items():
             lines.append(
-                f"  {query}  [{row['engine']}]\n"
+                f"  {query}  [{row['engine']} / compiled {row['compiled_engine']}]\n"
                 f"              pull {row['pull']['mb_per_s']:>7} MB/s   "
                 f"push {row['push']['mb_per_s']:>7} MB/s   "
-                f"speedup {row['speedup']}x   ({row['matches']} matches)"
+                f"speedup {row['speedup']}x   ({row['matches']} matches)\n"
+                f"              compiled {row['compiled']['mb_per_s']:>7} MB/s   "
+                f"vs pull {row['compiled_vs_pull']}x   "
+                f"vs push {row['compiled_vs_push']}x"
             )
     summary = payload["summary"]
     lines.append(
         f"XMark push-vs-pull minimum: {summary['xmark_min_push_vs_pull']}x "
         f"(target {summary['xmark_target']}x: "
         f"{'met' if summary['xmark_target_met'] else 'NOT MET'})"
+    )
+    compiled = summary["compiled"]
+    lines.append(
+        f"XMark predicate-free compiled-vs-pull minimum: "
+        f"{compiled['xmark_pf_min_vs_pull']}x "
+        f"(target {compiled['xmark_pf_target']}x: "
+        f"{'met' if compiled['xmark_pf_target_met'] else 'NOT MET'}); "
+        f"compiled-vs-push minimum {compiled['min_vs_push']}x"
     )
     return "\n".join(lines)
 

@@ -1,0 +1,571 @@
+"""Query-specialized code generation for the interpreted machines.
+
+The interpreted engines walk per-tag dispatch plans — lists of
+``(node, stack, parent_stack)`` records — unpacking tuples and testing
+per-node properties (edge op, condition presence, value tests,
+is-return) on **every event**, although all of those are fixed at
+machine-construction time.  This module folds them out: for each
+``(query, machine)`` pair it generates straight-line Python source for
+every dispatch tag (one start and one end function), binds the runtime
+stacks/slots/nodes as default arguments (locals, not globals, at call
+time), and compiles the lot with :func:`compile`/``exec``.  The
+per-event work becomes one dict lookup plus a call into specialized
+code with no plan iteration, no tuple unpacking and no constant
+re-testing.
+
+``CompiledPathM``/``CompiledBranchM``/``CompiledTwigM`` subclass their
+interpreted counterparts, so construction-time validation, snapshots
+(``snapshot_state``/``restore_state`` mutate the bound stacks in
+place — the generated functions alias them), ``characters()``, pull
+driving and the handler protocol are all inherited unchanged; only the
+per-tag transition dispatch is replaced.  Solutions are bit-for-bit
+identical to the interpreted machines — the differential suite
+(``tests/test_compile_equivalence.py``) holds them to that.
+"""
+
+from __future__ import annotations
+
+from repro.core.branchm import BranchM
+from repro.core.machine import EDGE_EQ, Machine
+from repro.core.pathm import PathM
+from repro.core.results import ResultSink
+from repro.core.twigm import StackEntry, TwigM
+from repro.stream.recovery import ResourceLimits
+from repro.xpath.querytree import QueryTree
+
+#: Per-machine cap on cached unknown-tag dispatch entries (mirrors the
+#: interpreted machines' wild-plan cache; bounds memory under
+#: adversarial tag churn).
+TAG_CACHE_LIMIT = 4096
+
+
+class _FunctionBuilder:
+    """Accumulates source lines + referenced bindings for one function."""
+
+    def __init__(self, name: str, params: str):
+        self.name = name
+        self.params = params
+        self.lines: list[str] = []
+        self.used: dict[str, None] = {}  # ordered set of binding names
+
+    def add(self, line: str, *names: str) -> None:
+        self.lines.append(line)
+        for name in names:
+            self.used[name] = None
+
+    def source(self) -> str:
+        # Referenced runtime objects ride in as default arguments: they
+        # are frame locals at call time, never global lookups.
+        defaults = "".join(f", {n}={n}" for n in self.used)
+        body = self.lines or ["    pass"]
+        return (
+            f"def {self.name}({self.params}{defaults}):\n"
+            + "\n".join(body)
+            + "\n"
+        )
+
+
+def _compile_functions(builders, bindings, what: str):
+    """exec the generated module; return {builder name: function}."""
+    source = "\n".join(builder.source() for builder in builders)
+    namespace = dict(bindings)
+    exec(compile(source, f"<repro.compile.codegen {what}>", "exec"), namespace)
+    return {builder.name: namespace[builder.name] for builder in builders}
+
+
+def _return_path_ids(machine: Machine) -> set[int]:
+    """Nodes that can ever hold candidates: the return node's trunk chain."""
+    ids: set[int] = set()
+    node = machine.return_node
+    while node is not None:
+        ids.add(id(node))
+        node = node.parent
+    return ids
+
+
+class _GeneratedDispatch:
+    """Shared dispatcher mixin: tag → generated function, with the
+    unknown-tag (wildcard) function cached per tag on first sight."""
+
+    def _dispatch_start(self, tag, level, node_id, attributes):
+        fns = self._start_fns
+        fn = fns.get(tag)
+        if fn is None:
+            fn = self._wild_start
+            if fn is None:
+                return
+            if len(fns) < TAG_CACHE_LIMIT:
+                fns[tag] = fn
+                self._end_fns[tag] = self._wild_end
+        fn(level, node_id, attributes)
+
+    def _dispatch_end(self, tag, level):
+        fns = self._end_fns
+        fn = fns.get(tag)
+        if fn is None:
+            fn = self._wild_end
+            if fn is None:
+                return
+            if len(fns) < TAG_CACHE_LIMIT:
+                fns[tag] = fn
+                self._start_fns[tag] = self._wild_start
+        fn(level)
+
+
+# ---------------------------------------------------------------------------
+# PathM
+# ---------------------------------------------------------------------------
+
+
+class CompiledPathM(_GeneratedDispatch, PathM):
+    """PathM with generated straight-line per-tag transition functions."""
+
+    # machine_name stays "pathm": snapshots are interchangeable with the
+    # interpreted engine.
+    #: Ignores attributes and character data — turbo-scanner eligible.
+    turbo_scan_safe = True
+
+    def __init__(self, query, sink=None, limits=None, *, metrics=None):
+        super().__init__(query, sink=sink, limits=limits)
+        self._generate()
+        if metrics is not None:
+            from repro.compile.metrics import compile_publisher
+
+            compile_publisher(metrics).note_codegen(
+                self.machine_name, self._codegen_count
+            )
+
+    def _generate(self) -> None:
+        index = {
+            id(node): i for i, node in enumerate(self.machine.iter_nodes())
+        }
+        bindings = {"M": self}
+        for node in self.machine.iter_nodes():
+            i = index[id(node)]
+            bindings[f"s{i}"] = self._stacks[id(node)]
+
+        builders = []
+
+        def build(tag_key: str, plan) -> tuple[str, str]:
+            start = _FunctionBuilder(f"_start_{tag_key}", "level, node_id, attributes")
+            end = _FunctionBuilder(f"_end_{tag_key}", "level")
+            for node, _stack, parent_stack in plan:
+                i = index[id(node)]
+                stack = f"s{i}"
+                push = [f"{stack}.append(level)"]
+                if node.is_return:
+                    push.append("M.sink.emit(node_id)")
+                if parent_stack is None:
+                    op = "==" if node.edge_op == EDGE_EQ else ">="
+                    start.add(f"    if level {op} {node.edge_dist}:", stack, "M")
+                    for line in push:
+                        start.add(f"        {line}")
+                else:
+                    parent = f"s{index[id(node.parent)]}"
+                    if node.edge_op == EDGE_EQ:
+                        start.add(f"    _t = level - {node.edge_dist}", parent, stack, "M")
+                        start.add(f"    for _l in reversed({parent}):")
+                        start.add("        if _l == _t:")
+                        for line in push:
+                            start.add(f"            {line}")
+                        start.add("            break")
+                        start.add("        if _l < _t:")
+                        start.add("            break")
+                    else:
+                        start.add(
+                            f"    if {parent} and {parent}[0] <= level - {node.edge_dist}:",
+                            parent, stack, "M",
+                        )
+                        for line in push:
+                            start.add(f"        {line}")
+                end.add(f"    if {stack} and {stack}[-1] == level:", stack)
+                end.add(f"        {stack}.pop()")
+            builders.append(start)
+            builders.append(end)
+            return start.name, end.name
+
+        tag_names = {
+            tag: build(f"t{i}", plan)
+            for i, (tag, plan) in enumerate(self._plans.items())
+        }
+        wild_names = build("wild", self._wild_plan) if self._wild_plan else None
+
+        functions = _compile_functions(
+            builders, bindings, f"pathm {self.machine.query.source!r}"
+        )
+        self._codegen_count = len(functions)
+        self._start_fns = {
+            tag: functions[names[0]] for tag, names in tag_names.items()
+        }
+        self._end_fns = {
+            tag: functions[names[1]] for tag, names in tag_names.items()
+        }
+        if wild_names is not None:
+            self._wild_start = functions[wild_names[0]]
+            self._wild_end = functions[wild_names[1]]
+        else:
+            self._wild_start = None
+            self._wild_end = None
+
+    def start_element(self, tag, level, node_id, attributes=None):
+        if self._limits is not None:
+            self._limits.check("max_depth", level)
+        self._dispatch_start(tag, level, node_id, attributes)
+
+    def end_element(self, tag, level):
+        self._dispatch_end(tag, level)
+
+
+# ---------------------------------------------------------------------------
+# BranchM
+# ---------------------------------------------------------------------------
+
+
+class CompiledBranchM(_GeneratedDispatch, BranchM):
+    """BranchM with generated per-tag slot-transition functions."""
+
+    def __init__(self, query, sink=None, limits=None, *, metrics=None):
+        super().__init__(query, sink=sink, limits=limits)
+        self._generate()
+        if metrics is not None:
+            from repro.compile.metrics import compile_publisher
+
+            compile_publisher(metrics).note_codegen(
+                self.machine_name, self._codegen_count
+            )
+
+    def _generate(self) -> None:
+        index = {
+            id(node): i for i, node in enumerate(self.machine.iter_nodes())
+        }
+        bindings = {"M": self}
+        for node in self.machine.iter_nodes():
+            i = index[id(node)]
+            bindings[f"s{i}"] = self._slots[id(node)]
+            bindings[f"n{i}"] = node
+            for t, test in enumerate(node.value_tests):
+                bindings[f"v{i}_{t}"] = test
+
+        builders = []
+        tag_names = {}
+        for count, (tag, plan) in enumerate(self._plans.items()):
+            start = _FunctionBuilder(f"_start_t{count}", "level, node_id, attributes")
+            end = _FunctionBuilder(f"_end_t{count}", "level")
+            if any(node.attribute_tests for node, _s, _p in plan):
+                start.add("    if attributes is None:")
+                start.add("        attributes = {}")
+            for node, _slot, parent_slot in plan:
+                i = index[id(node)]
+                slot = f"s{i}"
+                # -- δs ------------------------------------------------
+                if parent_slot is None:
+                    start.add(f"    if level == {node.edge_dist}:", slot, "M")
+                else:
+                    parent = f"s{index[id(node.parent)]}"
+                    start.add(
+                        f"    if {parent}.level == level - {node.edge_dist}:",
+                        parent, slot, "M",
+                    )
+                pad = "        "
+                if node.attribute_tests:
+                    start.add(
+                        f"{pad}if n{i}.attributes_satisfied(attributes):",
+                        f"n{i}",
+                    )
+                    pad += "    "
+                start.add(f"{pad}if {slot}.candidates:")
+                start.add(f"{pad}    M._candidate_count -= len({slot}.candidates)")
+                start.add(f"{pad}{slot}.level = level")
+                start.add(f"{pad}{slot}.flags = 0")
+                start.add(f"{pad}{slot}.candidates = None")
+                if node.value_tests:
+                    start.add(f"{pad}if {slot}.text_parts is None:")
+                    start.add(f"{pad}    M._open_value_slots += 1")
+                    start.add(f"{pad}{slot}.text_parts = []")
+                if node.is_return:
+                    start.add(f"{pad}{slot}.candidates = {{node_id}}")
+                    start.add(f"{pad}M._count_candidates(1)")
+                # -- δe ------------------------------------------------
+                end.add(f"    if {slot}.level == level:", slot, "M")
+                if node.complete_mask:
+                    end.add(f"        _ok = {slot}.flags == {node.complete_mask}")
+                else:
+                    end.add("        _ok = True")
+                if node.value_tests:
+                    end.add("        if _ok:")
+                    end.add(f"            _txt = ''.join({slot}.text_parts or ())")
+                    cond = " and ".join(
+                        f"v{i}_{t}.evaluate(_txt)"
+                        for t in range(len(node.value_tests))
+                    )
+                    end.add(f"            _ok = {cond}",
+                            *[f"v{i}_{t}" for t in range(len(node.value_tests))])
+                end.add("        if _ok:")
+                if parent_slot is None:
+                    end.add(f"            if {slot}.candidates:")
+                    end.add(f"                M.sink.emit_all(sorted({slot}.candidates))")
+                else:
+                    parent = f"s{index[id(node.parent)]}"
+                    end.add(f"            {parent}.flags |= {1 << node.child_index}",
+                            parent)
+                    end.add(f"            if {slot}.candidates:")
+                    end.add(f"                _pc = {parent}.candidates")
+                    end.add("                if _pc is None:")
+                    end.add(f"                    {parent}.candidates = set({slot}.candidates)")
+                    end.add(f"                    M._count_candidates(len({slot}.candidates))")
+                    end.add("                else:")
+                    end.add("                    _b = len(_pc)")
+                    end.add(f"                    _pc |= {slot}.candidates")
+                    end.add("                    M._count_candidates(len(_pc) - _b)")
+                end.add(f"        if {slot}.candidates:")
+                end.add(f"            M._candidate_count -= len({slot}.candidates)")
+                if node.value_tests:
+                    end.add(f"        if {slot}.text_parts is not None:")
+                    end.add("            M._open_value_slots -= 1")
+                end.add(f"        {slot}.reset()")
+            builders.append(start)
+            builders.append(end)
+            tag_names[tag] = (start.name, end.name)
+
+        functions = _compile_functions(
+            builders, bindings, f"branchm {self.machine.query.source!r}"
+        )
+        self._codegen_count = len(functions)
+        self._start_fns = {
+            tag: functions[names[0]] for tag, names in tag_names.items()
+        }
+        self._end_fns = {
+            tag: functions[names[1]] for tag, names in tag_names.items()
+        }
+        # BranchM rejects wildcards: unknown tags are provable no-ops.
+        self._wild_start = None
+        self._wild_end = None
+
+    def start_element(self, tag, level, node_id, attributes=None):
+        if self._limits is not None:
+            self._limits.check("max_depth", level)
+        self._dispatch_start(tag, level, node_id, attributes)
+
+    def end_element(self, tag, level):
+        self._dispatch_end(tag, level)
+
+
+# ---------------------------------------------------------------------------
+# TwigM
+# ---------------------------------------------------------------------------
+
+
+class CompiledTwigM(_GeneratedDispatch, TwigM):
+    """TwigM with generated per-tag δs/δe functions.
+
+    Candidate-lifetime trackers observe per-event internals the
+    generated code folds away; tracked consumers keep the interpreted
+    engine (enforced by the engine resolvers, asserted here).
+    """
+
+    def __init__(self, query, sink=None, tracker=None, eager=None,
+                 limits=None, *, metrics=None):
+        if tracker is not None:
+            raise ValueError(
+                "CompiledTwigM does not support candidate trackers; "
+                "use the interpreted TwigM"
+            )
+        super().__init__(query, sink=sink, eager=eager, limits=limits)
+        self._generate()
+        if metrics is not None:
+            from repro.compile.metrics import compile_publisher
+
+            compile_publisher(metrics).note_codegen(
+                self.machine_name, self._codegen_count
+            )
+
+    def _generate(self) -> None:
+        index = {
+            id(node): i for i, node in enumerate(self.machine.iter_nodes())
+        }
+        carries = _return_path_ids(self.machine)
+        bindings = {"M": self, "SE": StackEntry}
+        for node in self.machine.iter_nodes():
+            i = index[id(node)]
+            bindings[f"s{i}"] = self._stacks[id(node)]
+            bindings[f"n{i}"] = node
+            if node.compiled_condition is not None:
+                bindings[f"c{i}"] = node.compiled_condition
+            for t, test in enumerate(node.value_tests):
+                bindings[f"v{i}_{t}"] = test
+
+        builders = []
+
+        def build(tag_key: str, plan) -> tuple[str, str]:
+            start = _FunctionBuilder(f"_start_{tag_key}", "level, node_id, attributes")
+            end = _FunctionBuilder(f"_end_{tag_key}", "level")
+            needs_attrs = any(
+                node.compiled_condition is not None or node.attribute_tests
+                for node, _s, _p in plan
+            )
+            if needs_attrs:
+                start.add("    if attributes is None:")
+                start.add("        attributes = {}")
+            for node, _stack, parent_stack in plan:
+                i = index[id(node)]
+                stack = f"s{i}"
+                condition = node.compiled_condition
+                carries_candidates = id(node) in carries
+                wants_text = bool(node.value_tests) or (
+                    condition is not None and condition.has_value_leaves
+                )
+                # -- δs ------------------------------------------------
+                pad = "    "
+                if condition is not None:
+                    start.add(f"{pad}if c{i}.possible(attributes):",
+                              f"c{i}", stack, "M", "SE")
+                    pad += "    "
+                elif node.attribute_tests:
+                    start.add(
+                        f"{pad}if n{i}.attributes_satisfied(attributes):",
+                        f"n{i}", stack, "M", "SE",
+                    )
+                    pad += "    "
+                else:
+                    start.used[stack] = None
+                    start.used["M"] = None
+                    start.used["SE"] = None
+                push: list[str] = ["_e = SE(level)"]
+                if wants_text:
+                    push.append("_e.text_parts = []")
+                    push.append("M._open_value_entries += 1")
+                if condition is not None:
+                    push.append(f"_e.attr_bits = c{i}.attr_bits(attributes)")
+                if node.is_return:
+                    push.append("_e.candidates = {node_id}")
+                    push.append("M._count_candidates(1)")
+                push.append(f"{stack}.append(_e)")
+                if parent_stack is None:
+                    op = "==" if node.edge_op == EDGE_EQ else ">="
+                    start.add(f"{pad}if level {op} {node.edge_dist}:")
+                    for line in push:
+                        start.add(f"{pad}    {line}")
+                else:
+                    parent = f"s{index[id(node.parent)]}"
+                    start.used[parent] = None
+                    if node.edge_op == EDGE_EQ:
+                        start.add(f"{pad}_t = level - {node.edge_dist}")
+                        start.add(f"{pad}for _pe in reversed({parent}):")
+                        start.add(f"{pad}    _pl = _pe.level")
+                        start.add(f"{pad}    if _pl == _t:")
+                        for line in push:
+                            start.add(f"{pad}        {line}")
+                        start.add(f"{pad}        break")
+                        start.add(f"{pad}    if _pl < _t:")
+                        start.add(f"{pad}        break")
+                    else:
+                        start.add(
+                            f"{pad}if {parent} and "
+                            f"{parent}[0].level <= level - {node.edge_dist}:"
+                        )
+                        for line in push:
+                            start.add(f"{pad}    {line}")
+                # -- δe ------------------------------------------------
+                end.add(f"    if {stack} and {stack}[-1].level == level:",
+                        stack, "M")
+                end.add(f"        _e = {stack}.pop()")
+                if wants_text:
+                    end.add("        if _e.text_parts is not None:")
+                    end.add("            M._open_value_entries -= 1")
+                if carries_candidates:
+                    end.add("        if _e.candidates:")
+                    end.add("            M._candidate_count -= len(_e.candidates)")
+                if condition is not None:
+                    text = (
+                        "(''.join(_e.text_parts) if _e.text_parts else '')"
+                        if condition.has_value_leaves
+                        else "''"
+                    )
+                    end.add(
+                        f"        _ok = c{i}.satisfied(_e.flags, _e.attr_bits, {text})",
+                        f"c{i}",
+                    )
+                else:
+                    if node.complete_mask:
+                        end.add(f"        _ok = _e.flags == {node.complete_mask}")
+                    else:
+                        end.add("        _ok = True")
+                    if node.value_tests:
+                        end.add("        if _ok:")
+                        end.add(
+                            "            _txt = ''.join(_e.text_parts) "
+                            "if _e.text_parts else ''"
+                        )
+                        cond = " and ".join(
+                            f"v{i}_{t}.evaluate(_txt)"
+                            for t in range(len(node.value_tests))
+                        )
+                        end.add(f"            _ok = {cond}",
+                                *[f"v{i}_{t}"
+                                  for t in range(len(node.value_tests))])
+                end.add("        if _ok:")
+                if (node.is_return and self._eager) or node.parent is None:
+                    end.add("            if _e.candidates:")
+                    end.add("                M.sink.emit_all(sorted(_e.candidates))")
+                else:
+                    parent = f"s{index[id(node.parent)]}"
+                    end.used[parent] = None
+                    bit = 1 << node.child_index
+                    upload = (
+                        ["if _e.candidates:",
+                         "    M._count_candidates(_pe.upload_candidates(_e))"]
+                        if carries_candidates
+                        else []
+                    )
+                    if node.edge_op == EDGE_EQ:
+                        end.add(f"            _t = level - {node.edge_dist}")
+                        end.add(f"            for _pe in reversed({parent}):")
+                        end.add("                if _pe.level == _t:")
+                        end.add(f"                    _pe.flags |= {bit}")
+                        for line in upload:
+                            end.add(f"                    {line}")
+                        end.add("                    break")
+                        end.add("                if _pe.level < _t:")
+                        end.add("                    break")
+                    else:
+                        end.add(f"            _t = level - {node.edge_dist}")
+                        end.add(f"            for _pe in {parent}:")
+                        end.add("                if _pe.level > _t:")
+                        end.add("                    break")
+                        end.add(f"                _pe.flags |= {bit}")
+                        for line in upload:
+                            end.add(f"                {line}")
+            builders.append(start)
+            builders.append(end)
+            return start.name, end.name
+
+        tag_names = {
+            tag: build(f"t{i}", plan)
+            for i, (tag, plan) in enumerate(self._plans.items())
+        }
+        wild_names = build("wild", self._wild_plan) if self._wild_plan else None
+
+        functions = _compile_functions(
+            builders, bindings, f"twigm {self.machine.query.source!r}"
+        )
+        self._codegen_count = len(functions)
+        self._start_fns = {
+            tag: functions[names[0]] for tag, names in tag_names.items()
+        }
+        self._end_fns = {
+            tag: functions[names[1]] for tag, names in tag_names.items()
+        }
+        if wild_names is not None:
+            self._wild_start = functions[wild_names[0]]
+            self._wild_end = functions[wild_names[1]]
+        else:
+            self._wild_start = None
+            self._wild_end = None
+
+    def start_element(self, tag, level, node_id, attributes=None):
+        if self._limits is not None:
+            self._limits.check("max_depth", level)
+        self._dispatch_start(tag, level, node_id, attributes)
+
+    def end_element(self, tag, level):
+        self._dispatch_end(tag, level)

@@ -43,6 +43,13 @@ from repro.xpath.querytree import (
 EDGE_EQ = "="
 EDGE_GE = ">="
 
+#: Ceiling on dispatch-plan entries cached for tags outside the query
+#: alphabet.  Engines alias the wildcard plan under each miss tag so
+#: repeated unknown tags cost one dict hit; the cap keeps adversarial
+#: tag churn from growing the table without bound (mirrors the router's
+#: and codegen's cache limits).
+TAG_CACHE_LIMIT = 4096
+
 
 class CompiledCondition:
     """A machine node's general boolean predicate, bound to its entries.

@@ -21,7 +21,13 @@ from __future__ import annotations
 
 from typing import Iterable
 
-from repro.core.machine import EDGE_EQ, Machine, MachineNode, build_machine
+from repro.core.machine import (
+    EDGE_EQ,
+    TAG_CACHE_LIMIT,
+    Machine,
+    MachineNode,
+    build_machine,
+)
 from repro.core.push import LimitCountingHandler
 from repro.core.results import CollectingSink, ResultSink
 from repro.errors import CheckpointError, UnsupportedQueryError
@@ -76,6 +82,20 @@ class PathM:
         }
         self._wild_plan = self._compile_plan(self.machine.wildcards)
         self._return = self.machine.return_node
+
+    def _miss_plan(self, tag: str) -> list:
+        """Resolve (and cache) the plan for a tag outside the alphabet.
+
+        Every unknown tag dispatches to the wildcard plan; aliasing it
+        into ``_plans`` under the tag on first sight makes repeated
+        unknown tags cost a single dict hit instead of a miss plus the
+        fallback lookup.  The cache is bounded (:data:`TAG_CACHE_LIMIT`)
+        so hostile tag churn cannot grow it without limit.
+        """
+        plan = self._wild_plan
+        if len(self._plans) < TAG_CACHE_LIMIT:
+            self._plans[tag] = plan
+        return plan
 
     def _compile_plan(self, nodes) -> list:
         return [
@@ -137,7 +157,7 @@ class PathM:
             self._limits.check("max_depth", level)
         plan = self._plans.get(tag)
         if plan is None:
-            plan = self._wild_plan
+            plan = self._miss_plan(tag)
             if not plan:
                 return
         for node, stack, parent_stack in plan:
@@ -161,7 +181,7 @@ class PathM:
         """Pop entries whose element just closed, keeping stacks active-only."""
         plan = self._plans.get(tag)
         if plan is None:
-            plan = self._wild_plan
+            plan = self._miss_plan(tag)
         for node, stack, parent_stack in plan:
             if stack and stack[-1] == level:
                 stack.pop()

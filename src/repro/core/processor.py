@@ -63,6 +63,18 @@ _ENGINES_BY_NAME = {"pathm": PathM, "branchm": BranchM, "twigm": TwigM}
 SNAPSHOT_VERSION = 1
 
 
+def _engine_class_by_name(name: str):
+    """Resolve an engine name, including the lazily-imported ``dfa``."""
+    if name == "dfa":
+        from repro.compile.dfa import DfaPathM
+
+        return DfaPathM
+    try:
+        return _ENGINES_BY_NAME[name]
+    except KeyError:
+        raise ValueError(f"unknown engine {name!r}") from None
+
+
 def select_engine_class(query: QueryTree):
     """The cheapest machine class for ``query``'s fragment.
 
@@ -72,6 +84,31 @@ def select_engine_class(query: QueryTree):
     if query.has_boolean_connectives():
         return TwigM
     return _FRAGMENT_ENGINES[query.fragment()]
+
+
+def select_compiled_engine_class(engine_class, explicit: bool):
+    """The compiled tier for an interpreted engine choice.
+
+    Automatically-selected PathM upgrades to the lazy-DFA front-end
+    (the fastest tier; its state cap guarantees PathM behaviour in the
+    worst case).  An *explicitly* requested ``engine="pathm"`` keeps the
+    PathM machine — with generated dispatch — so its snapshot engine
+    name is honoured.
+    """
+    from repro.compile import (
+        CompiledBranchM,
+        CompiledPathM,
+        CompiledTwigM,
+        DfaPathM,
+    )
+
+    if engine_class is DfaPathM:
+        return DfaPathM
+    if engine_class is PathM:
+        return CompiledPathM if explicit else DfaPathM
+    if engine_class is BranchM:
+        return CompiledBranchM
+    return CompiledTwigM
 
 
 class XPathStream:
@@ -105,7 +142,21 @@ class XPathStream:
         (:mod:`repro.obs.machines`) and metric-publishing tokenizers, so
         ``repro_machine_*`` and ``repro_tokenizer_*`` families populate.
         When ``None`` (the default) the plain classes run — the hot
-        loops contain no metrics code at all.
+        loops contain no metrics code at all.  Compiled engines publish
+        the ``repro_compile_*`` family instead of per-operation counts
+        (the operations they would count are exactly what compilation
+        folds away).
+    compiled:
+        Run the query-specialized compilation tier
+        (:mod:`repro.compile`): predicate-free queries evaluate on the
+        lazy-DFA front-end (``engine_name`` ``"dfa"``), everything else
+        on machines with generated straight-line dispatch.  Matches,
+        order, errors, limits and snapshots are identical to the
+        interpreted engines.
+    state_cap:
+        Optional override for the lazy DFA's materialised-state ceiling
+        (default :data:`repro.compile.DEFAULT_STATE_CAP`); past it the
+        engine falls back to interpreted PathM mid-stream.
     """
 
     def __init__(
@@ -118,6 +169,8 @@ class XPathStream:
         on_diagnostic: Callable[[StreamDiagnostic], None] | None = None,
         limits: ResourceLimits | None = None,
         metrics=None,
+        compiled: bool = False,
+        state_cap: int | None = None,
     ):
         if isinstance(query, str):
             query = compile_query(query)
@@ -126,6 +179,8 @@ class XPathStream:
         self._on_diagnostic = on_diagnostic
         self._limits = limits
         self._metrics = metrics
+        self._compiled = bool(compiled) or engine == "dfa"
+        self._state_cap = state_cap
         if on_match is None:
             sink: ResultSink = CollectingSink()
         else:
@@ -133,11 +188,16 @@ class XPathStream:
         if engine is None:
             engine_class = select_engine_class(query)
         else:
-            try:
-                engine_class = _ENGINES_BY_NAME[engine]
-            except KeyError:
-                raise ValueError(f"unknown engine {engine!r}") from None
-        if metrics is None:
+            engine_class = _engine_class_by_name(engine)
+        if self._compiled:
+            engine_class = select_compiled_engine_class(
+                engine_class, explicit=engine is not None
+            )
+            kwargs = {"metrics": metrics}
+            if state_cap is not None and engine_class.machine_name == "dfa":
+                kwargs["state_cap"] = state_cap
+            self.engine = engine_class(query, sink=sink, limits=limits, **kwargs)
+        elif metrics is None:
             self.engine = engine_class(query, sink=sink, limits=limits)
         else:
             # Lazy import: the obs layer sits above core and is only
@@ -149,6 +209,7 @@ class XPathStream:
         self._sink = sink
         self._tokenizer: XmlTokenizer | None = None
         self._push_handler = None
+        self._turbo = None
 
     @property
     def engine_name(self) -> str:
@@ -214,12 +275,28 @@ class XPathStream:
             limits=self._limits,
             metrics=self._metrics,
         )
-        for chunk in iter_text_chunks(source):
-            tokenizer.feed_into(chunk, handler)
+        turbo = self._turbo_for(tokenizer, handler)
+        if turbo is not None:
+            for chunk in iter_text_chunks(source):
+                turbo(tokenizer, chunk, handler)
+        else:
+            for chunk in iter_text_chunks(source):
+                tokenizer.feed_into(chunk, handler)
         tokenizer.close_into(handler)
         if isinstance(self._sink, CollectingSink):
             return self._sink.results
         return []
+
+    def _turbo_for(self, tokenizer: XmlTokenizer, handler):
+        """:func:`repro.compile.scan.turbo_feed` when this (tokenizer,
+        handler) binding qualifies for the turbo scanner, else None."""
+        if not getattr(handler, "turbo_scan_safe", False):
+            return None
+        from repro.compile.scan import turbo_eligible, turbo_feed
+
+        if turbo_eligible(tokenizer, handler):
+            return turbo_feed
+        return None
 
     # -- push-style ---------------------------------------------------------
 
@@ -263,7 +340,18 @@ class XPathStream:
                 limits=self._limits,
                 metrics=self._metrics,
             )
-        self._tokenizer.feed_into(chunk, self.push_handler())
+        if self._turbo is None:
+            # Eligibility depends only on construction-time configuration
+            # (policy/limits/metrics) and the handler, so the tri-state
+            # cache (None = unknown, False = ineligible, else the feed
+            # function) survives tokenizer recreation.
+            self._turbo = (
+                self._turbo_for(self._tokenizer, self.push_handler()) or False
+            )
+        if self._turbo:
+            self._turbo(self._tokenizer, chunk, self.push_handler())
+        else:
+            self._tokenizer.feed_into(chunk, self.push_handler())
 
     def close(self) -> list[int]:
         """Finish an incremental text feed; return collected ids (if any).
@@ -304,6 +392,7 @@ class XPathStream:
             "version": SNAPSHOT_VERSION,
             "query": self.query.source,
             "engine": self.engine_name,
+            "compiled": self._compiled,
             "policy": self._policy.value,
             "limits": self._limits.to_dict() if self._limits is not None else None,
             "tokenizer": self._tokenizer.snapshot() if self._tokenizer is not None else None,
@@ -342,6 +431,7 @@ class XPathStream:
                 on_diagnostic=on_diagnostic,
                 limits=ResourceLimits.from_dict(snapshot.get("limits")),
                 metrics=metrics,
+                compiled=bool(snapshot.get("compiled")),
             )
             stream.engine.restore_state(snapshot["machine"])
             stream._sink.restore_state(snapshot["sink"])

@@ -32,7 +32,13 @@ from __future__ import annotations
 
 from typing import Iterable
 
-from repro.core.machine import EDGE_EQ, Machine, MachineNode, build_machine
+from repro.core.machine import (
+    EDGE_EQ,
+    TAG_CACHE_LIMIT,
+    Machine,
+    MachineNode,
+    build_machine,
+)
 from repro.core.push import LimitCountingHandler
 from repro.core.results import CollectingSink, ResultSink
 from repro.errors import CheckpointError, UnsupportedQueryError
@@ -205,6 +211,20 @@ class TwigM:
             for node in nodes
         ]
 
+    def _miss_plan(self, tag: str) -> list:
+        """Resolve (and cache) the plan for a tag outside the alphabet.
+
+        Every unknown tag dispatches to the wildcard plan; aliasing it
+        into ``_plans`` under the tag on first sight makes repeated
+        unknown tags cost a single dict hit instead of a miss plus the
+        fallback lookup.  The cache is bounded (:data:`TAG_CACHE_LIMIT`)
+        so hostile tag churn cannot grow it without limit.
+        """
+        plan = self._wild_plan
+        if len(self._plans) < TAG_CACHE_LIMIT:
+            self._plans[tag] = plan
+        return plan
+
     # -- introspection --------------------------------------------------
 
     @property
@@ -300,7 +320,7 @@ class TwigM:
             self._limits.check("max_depth", level)
         plan = self._plans.get(tag)
         if plan is None:
-            plan = self._wild_plan
+            plan = self._miss_plan(tag)
             if not plan:
                 return
         if attributes is None:
@@ -378,7 +398,7 @@ class TwigM:
         tracker = self._tracker
         plan = self._plans.get(tag)
         if plan is None:
-            plan = self._wild_plan
+            plan = self._miss_plan(tag)
             if not plan:
                 return
         for node, stack, parent_stack in plan:

@@ -120,6 +120,19 @@ class MultiQueryEngine:
         the ``repro_multiq_*`` families: total/dispatched/broadcast
         event counts, query and unit gauges, the router hit ratio, and
         per-query emitted counts (labelled ``query="name"``).
+    compiled:
+        Run every unit on the :mod:`repro.compile` engine tiers:
+        predicate-free path queries get the lazy-DFA front-end
+        (:class:`~repro.compile.dfa.DfaPathM` — shared across deduped
+        registrations like any unit, riding the router's wants-all path
+        because the DFA's depth tracking needs every element event),
+        everything else gets generated straight-line dispatch.  Results
+        are bit-for-bit identical to the interpreted engines.  When
+        every registered unit is turbo-safe, the push path
+        (:meth:`feed_text_push` / :meth:`evaluate_push`) additionally
+        engages the query-aware turbo scanner
+        (:mod:`repro.compile.scan`); eligibility is re-checked per
+        chunk, keyed on the router's version counter.
     """
 
     def __init__(
@@ -131,6 +144,7 @@ class MultiQueryEngine:
         on_diagnostic: "Callable[[StreamDiagnostic], None] | None" = None,
         limits: ResourceLimits | None = None,
         metrics=None,
+        compiled: bool = False,
     ):
         self._registry = QueryRegistry()
         self._router = AlphabetRouter()
@@ -139,6 +153,7 @@ class MultiQueryEngine:
         self._on_diagnostic = on_diagnostic
         self._limits = limits
         self._metrics = metrics
+        self._compiled = bool(compiled)
         self._tokenizer: XmlTokenizer | None = None
         self._handler: "_MultiQueryHandler | None" = None
         self._virgin_units: set[EvalUnit] = set()
@@ -162,7 +177,7 @@ class MultiQueryEngine:
         return self._registry.names
 
     def engine_names(self) -> dict[str, str]:
-        """Which machine evaluates each query (pathm/branchm/twigm)."""
+        """Which machine evaluates each query (pathm/branchm/twigm/dfa)."""
         return self._registry.engine_names()
 
     def unit_count(self) -> int:
@@ -304,6 +319,7 @@ class MultiQueryEngine:
             callback=self._is_callback(on_match),
             metrics=self._metrics,
             tracker=tracker,
+            compiled=self._compiled,
         )
         if created is not None:
             self._router.add(created)
@@ -345,6 +361,7 @@ class MultiQueryEngine:
             callback=self._is_callback(on_match),
             share=False,
             metrics=self._metrics,
+            compiled=self._compiled,
         )
         unit = created if created is not None else registration.unit
         try:
@@ -448,6 +465,21 @@ class MultiQueryEngine:
             self._handler = _MultiQueryHandler(self)
         return self._handler
 
+    def _feed_chunk(self, tokenizer: XmlTokenizer, chunk: str, handler) -> None:
+        """Feed one chunk, through the turbo scanner when eligible.
+
+        Eligibility is re-checked per chunk: the handler's
+        ``turbo_scan_safe`` is a router-version-keyed cache, so live
+        query adds/removes switch the path at the next chunk boundary.
+        """
+        if handler.turbo_scan_safe:
+            from repro.compile.scan import turbo_eligible, turbo_feed
+
+            if turbo_eligible(tokenizer, handler):
+                turbo_feed(tokenizer, chunk, handler)
+                return
+        tokenizer.feed_into(chunk, handler)
+
     def feed_text_push(self, chunk: str) -> None:
         """Fused-pipeline :meth:`feed_text`; shares the tokenizer with it."""
         if self._tokenizer is None:
@@ -457,7 +489,7 @@ class MultiQueryEngine:
                 limits=self._limits,
                 metrics=self._metrics,
             )
-        self._tokenizer.feed_into(chunk, self.as_handler())
+        self._feed_chunk(self._tokenizer, chunk, self.as_handler())
 
     def evaluate_push(self, source) -> dict[str, list[int]]:
         """One-shot :meth:`evaluate` over the fused push pipeline.
@@ -473,7 +505,7 @@ class MultiQueryEngine:
             metrics=self._metrics,
         )
         for chunk in iter_text_chunks(source):
-            tokenizer.feed_into(chunk, handler)
+            self._feed_chunk(tokenizer, chunk, handler)
         tokenizer.close_into(handler)
         return self.results()
 
@@ -550,6 +582,7 @@ class MultiQueryEngine:
         """
         return {
             "version": MULTIQ_SNAPSHOT_VERSION,
+            "compiled": self._compiled,
             "policy": self._policy.value,
             "limits": self._limits.to_dict() if self._limits is not None else None,
             "queries": [
@@ -622,6 +655,7 @@ class MultiQueryEngine:
                 on_diagnostic=on_diagnostic,
                 limits=ResourceLimits.from_dict(snapshot.get("limits")),
                 metrics=metrics,
+                compiled=bool(snapshot.get("compiled", False)),
             )
             engine._restore_queries(snapshot, trackers or {})
             stats = snapshot.get("stats", {})
@@ -656,7 +690,8 @@ class MultiQueryEngine:
             tracked = bool(first.get("tracked", False))
             unit = EvalUnit(tree, limits, engine_name=unit_payload["engine"],
                             metrics=self._metrics,
-                            tracker=trackers.get(members[0]) if tracked else None)
+                            tracker=trackers.get(members[0]) if tracked else None,
+                            compiled=self._compiled)
             unit.tracked = tracked
             unit.virgin = bool(unit_payload.get("virgin", False))
             for index, member in enumerate(members):
@@ -718,12 +753,17 @@ class _MultiQueryHandler(EventHandler):
     stream) are all identical — only the event objects are gone.
     """
 
-    __slots__ = ("_engine", "_limited", "_limited_version")
+    __slots__ = (
+        "_engine", "_limited", "_limited_version",
+        "_turbo_safe", "_turbo_version",
+    )
 
     def __init__(self, engine: MultiQueryEngine):
         self._engine = engine
         self._limited: list = []
         self._limited_version = -1
+        self._turbo_safe = False
+        self._turbo_version = -1
 
     def _limited_handlers(self) -> list:
         """Per-unit handlers for the unfiltered path, rebuilt on
@@ -735,6 +775,37 @@ class _MultiQueryHandler(EventHandler):
             ]
             self._limited_version = router.version
         return self._limited
+
+    @property
+    def turbo_scan_safe(self) -> bool:
+        """True when every registered unit tolerates the turbo scanner.
+
+        The turbo loop (:mod:`repro.compile.scan`) elides attribute
+        dicts and character-data delivery, so it is only sound when
+        every unit's engine declares ``turbo_scan_safe`` (path machines
+        that ignore both), no unit carries per-query limits (their
+        accounting counts text events), and no registration delivers
+        through a callback — user callbacks can register new,
+        non-path queries *mid-chunk*, which the in-flight scan could
+        not serve.  Cached per router version, like the limited-handler
+        list: live add/remove re-evaluates at the next chunk boundary.
+        """
+        engine = self._engine
+        router = engine._router
+        if self._turbo_version != router.version:
+            self._turbo_safe = (
+                not router.limited_units()
+                and all(
+                    getattr(type(unit.engine), "turbo_scan_safe", False)
+                    for unit in engine._registry.units()
+                )
+                and not any(
+                    registration.callback
+                    for registration in engine._registry.registrations()
+                )
+            )
+            self._turbo_version = router.version
+        return self._turbo_safe
 
     def start_element(self, tag, level, node_id, attributes) -> None:
         engine = self._engine

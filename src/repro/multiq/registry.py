@@ -2,9 +2,10 @@
 
 A *registration* is one named standing query; an *evaluation unit* is
 one machine instance (PathM/BranchM/TwigM, chosen per fragment as
-always) plus the multiplexing sink that fans its confirmed solutions out
-to every registration sharing it.  The registry owns the mapping between
-the two:
+always — or their :mod:`repro.compile` tiers when the owning engine runs
+``compiled``) plus the multiplexing sink that fans its confirmed
+solutions out to every registration sharing it.  The registry owns the
+mapping between the two:
 
 * ``add`` compiles and canonicalizes the query, then either joins an
   existing unit with the same :func:`~repro.multiq.canon.dedup_key`
@@ -76,8 +77,13 @@ class EvalUnit:
         engine_name: str | None = None,
         metrics=None,
         tracker=None,
+        compiled: bool = False,
     ):
-        from repro.core.processor import _ENGINES_BY_NAME, select_engine_class
+        from repro.core.processor import (
+            _engine_class_by_name,
+            select_compiled_engine_class,
+            select_engine_class,
+        )
         from repro.multiq.router import machine_alphabet
 
         self.tree = tree
@@ -85,17 +91,26 @@ class EvalUnit:
         self.sink = MultiplexSink()
         if tracker is not None:
             # Candidate-lifetime tracking is a TwigM capability; fragment
-            # consumers (repro.transform) force the full machine.
+            # consumers (repro.transform) force the full machine, and the
+            # tracker hooks live on the interpreted one.
             engine_name = "twigm"
+            compiled = False
         if engine_name is None:
             engine_class = select_engine_class(tree)
         else:
-            try:
-                engine_class = _ENGINES_BY_NAME[engine_name]
-            except KeyError:
-                raise ValueError(f"unknown engine {engine_name!r}") from None
+            engine_class = _engine_class_by_name(engine_name)
+        if compiled:
+            engine_class = select_compiled_engine_class(
+                engine_class, engine_name is not None
+            )
         kwargs = {} if tracker is None else {"tracker": tracker}
-        if metrics is None:
+        if compiled:
+            # Compiled engines carry their own instrumentation hooks
+            # (the ``repro_compile_*`` families) instead of the generic
+            # observed wrappers.
+            self.engine = engine_class(tree, sink=self.sink, limits=limits,
+                                       metrics=metrics, **kwargs)
+        elif metrics is None:
             self.engine = engine_class(tree, sink=self.sink, limits=limits,
                                        **kwargs)
         else:
@@ -107,6 +122,12 @@ class EvalUnit:
         self.interest, self.wants_all, self.wants_text = machine_alphabet(
             self.engine.machine
         )
+        if engine_class.machine_name == "dfa":
+            # The DFA tracks depth implicitly (one pushed state per open
+            # element), which is only sound when it sees every element
+            # event; filtered delivery would desynchronise it and force
+            # the interpreted fallback on the first skipped tag.
+            self.wants_all = True
         # Limited machines count every event and probe every depth; they
         # must stay on the dispatcher's unfiltered path (see router.py).
         self.routable = limits is None
@@ -213,6 +234,7 @@ class QueryRegistry:
         share: bool = True,
         metrics=None,
         tracker=None,
+        compiled: bool = False,
     ) -> tuple[Registration, EvalUnit | None]:
         """Register ``name`` → ``query``; returns ``(registration, new_unit)``.
 
@@ -222,6 +244,8 @@ class QueryRegistry:
         ``tracker`` attaches a :class:`~repro.core.twigm.CandidateTracker`
         to the unit's machine (forcing TwigM and a dedicated unit — a
         tracker observes exactly one consumer's candidate lifetimes).
+        ``compiled`` selects the :mod:`repro.compile` engine tiers for
+        any unit this call creates (joined units already have theirs).
         """
         if name in self._registrations:
             raise ValueError(f"duplicate query name {name!r}")
@@ -239,7 +263,7 @@ class QueryRegistry:
                     break
         if unit is None:
             unit = created = EvalUnit(tree, limits, metrics=metrics,
-                                      tracker=tracker)
+                                      tracker=tracker, compiled=compiled)
             self._units.setdefault(key, []).append(unit)
         unit.sink.add(name, sink)
         registration = Registration(

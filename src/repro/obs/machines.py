@@ -166,7 +166,7 @@ class ObsTwigM(_ObsMixin, TwigM):
             self._limits.check("max_depth", level)
         plan = self._plans.get(tag)
         if plan is None:
-            plan = self._wild_plan
+            plan = self._miss_plan(tag)
             if not plan:
                 return
         if attributes is None:
@@ -225,7 +225,7 @@ class ObsTwigM(_ObsMixin, TwigM):
         tracker = self._tracker
         plan = self._plans.get(tag)
         if plan is None:
-            plan = self._wild_plan
+            plan = self._miss_plan(tag)
             if not plan:
                 return
         for node, stack, parent_stack in plan:
@@ -324,7 +324,7 @@ class ObsPathM(_ObsMixin, PathM):
             self._limits.check("max_depth", level)
         plan = self._plans.get(tag)
         if plan is None:
-            plan = self._wild_plan
+            plan = self._miss_plan(tag)
             if not plan:
                 return
         for node, stack, parent_stack in plan:
@@ -365,7 +365,7 @@ class ObsPathM(_ObsMixin, PathM):
         counts.events += 1
         plan = self._plans.get(tag)
         if plan is None:
-            plan = self._wild_plan
+            plan = self._miss_plan(tag)
         for node, stack, parent_stack in plan:
             if stack and stack[-1] == level:
                 stack.pop()

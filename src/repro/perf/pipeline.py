@@ -22,9 +22,11 @@ from repro.xpath.querytree import QueryTree
 class PushPipeline:
     """One query, compiled once, evaluated push-mode per document.
 
-    Parameters mirror :class:`~repro.core.processor.XPathStream`; the
-    extra ``chunk_size`` sets how much text each scanner call sees when
-    the source is a file (bigger chunks amortise the regex scan's
+    Parameters mirror :class:`~repro.core.processor.XPathStream`
+    (including ``compiled=``, which selects the :mod:`repro.compile`
+    tiers *and* lets eligible runs use the query-aware turbo scanner);
+    the extra ``chunk_size`` sets how much text each scanner call sees
+    when the source is a file (bigger chunks amortise the regex scan's
     per-call overhead; the default matches the tokenizer's).
 
     Observability is opt-in: pass ``metrics=`` (a
@@ -55,6 +57,8 @@ class PushPipeline:
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         metrics=None,
         tracer=None,
+        compiled: bool = False,
+        state_cap: int | None = None,
     ):
         self.stream = XPathStream(
             query,
@@ -64,6 +68,8 @@ class PushPipeline:
             on_diagnostic=on_diagnostic,
             limits=limits,
             metrics=metrics,
+            compiled=compiled,
+            state_cap=state_cap,
         )
         self._policy = RecoveryPolicy.coerce(policy)
         self._on_diagnostic = on_diagnostic
@@ -112,8 +118,13 @@ class PushPipeline:
             metrics=self._metrics,
         )
         if self._metrics is None and self._tracer is None:
-            for chunk in iter_text_chunks(source, self.chunk_size):
-                tokenizer.feed_into(chunk, handler)
+            turbo = stream._turbo_for(tokenizer, handler)
+            if turbo is not None:
+                for chunk in iter_text_chunks(source, self.chunk_size):
+                    turbo(tokenizer, chunk, handler)
+            else:
+                for chunk in iter_text_chunks(source, self.chunk_size):
+                    tokenizer.feed_into(chunk, handler)
             tokenizer.close_into(handler)
         else:
             self._run_observed(source, tokenizer, handler)
