@@ -3,7 +3,7 @@
 PYTHON ?= python3
 PROFILE ?= small
 
-.PHONY: install test robustness bench multiq perf obs serve store transform docs figures examples clean
+.PHONY: install test robustness bench multiq perf obs serve store transform latency docs figures examples clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -36,6 +36,9 @@ store:
 
 transform:
 	$(PYTHON) ci/transform_smoke.py
+
+latency:
+	$(PYTHON) ci/latency_smoke.py
 
 docs:
 	$(PYTHON) ci/docs_check.py

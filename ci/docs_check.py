@@ -10,6 +10,11 @@ Two checks over ``README.md``, ``DESIGN.md`` and every ``docs/*.md``:
    reference must import: the longest importable module prefix is
    found, and the remainder must resolve via ``getattr`` chains.  This
    catches docs that keep advertising renamed or deleted APIs.
+3. **Metric families exist** — every ``repro_*`` metric family named in
+   ``docs/OBSERVABILITY.md`` and ``docs/LATENCY.md`` must appear in the
+   metric catalog (:mod:`repro.obs.catalog`), whose own completeness is
+   enforced by ``tests/test_metric_catalog.py``.  This catches docs
+   that keep advertising renamed or deleted metrics.
 
 Run from the repo root::
 
@@ -25,9 +30,13 @@ from pathlib import Path
 
 LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 DOTTED = re.compile(r"\brepro(?:\.[A-Za-z_]\w*)+")
+METRIC = re.compile(r"\brepro_[a-z0-9_]+")
 
 #: Dotted names that look like APIs but are prose, not code.
 ALLOWED_UNRESOLVED: set[str] = set()
+
+#: Documents whose repro_* metric mentions must exist in the catalog.
+METRIC_DOCS = ("docs/OBSERVABILITY.md", "docs/LATENCY.md")
 
 
 def doc_files(root: Path) -> list[Path]:
@@ -82,13 +91,30 @@ def check_symbols(path: Path, root: Path) -> list[str]:
     return failures
 
 
+def check_metrics(path: Path, root: Path) -> list[str]:
+    """Every repro_* family the document names must be catalogued."""
+    from repro.obs.catalog import known_family
+
+    failures = []
+    for name in sorted(set(METRIC.findall(path.read_text(encoding="utf-8")))):
+        if not known_family(name):
+            failures.append(
+                f"{path.relative_to(root)}: unknown metric family {name!r} "
+                f"(not in repro.obs.catalog.METRIC_FAMILIES)"
+            )
+    return failures
+
+
 def main() -> int:
     root = Path(__file__).resolve().parent.parent
     failures: list[str] = []
     files = doc_files(root)
+    metric_docs = {root / rel for rel in METRIC_DOCS}
     for path in files:
         failures += check_links(path, root)
         failures += check_symbols(path, root)
+        if path in metric_docs:
+            failures += check_metrics(path, root)
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     if failures:

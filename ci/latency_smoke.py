@@ -1,0 +1,95 @@
+"""CI smoke: earliest emission must be exact — and actually earlier.
+
+Gates the acceptance properties of the earliest-emission work
+(docs/LATENCY.md):
+
+1. **Exactness** — on every XMark predicate query, ``emission="earliest"``
+   produces exactly the default mode's result set (in particular it never
+   emits a result the default mode doesn't).  Asserted per query inside
+   the benchmark and re-checked here.
+2. **Latency win** — the pooled median decision lag under earliest
+   emission is at most ``LATENCY_TARGET_RATIO`` (10%) of the default
+   mode's.  Lag is deterministic (events counted, not wall time), so no
+   noise headroom is needed; in practice the earliest median is 0.
+3. **Recorded artifact** — ``BENCH_latency.json`` is written at the
+   gate profile and must be well-formed: the summary carries a nonzero
+   default median (the corpus genuinely exercises candidate buffering)
+   and per-query rows for every predicate query.
+
+Run from the repo root::
+
+    PYTHONPATH=src python ci/latency_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.bench.latency import (
+    LATENCY_TARGET_RATIO,
+    PREDICATE_QIDS,
+    run_benchmark,
+    write_report,
+)
+
+GATE_PROFILE = "tiny"
+REPORT = "BENCH_latency.json"
+
+
+def main() -> int:
+    payload = run_benchmark(profile=GATE_PROFILE)
+    write_report(payload, REPORT)
+    failures = 0
+
+    for qid, row in payload["queries"].items():
+        d = row["default"]["event_lag"]
+        e = row["earliest"]["event_lag"]
+        print(f"  {qid} [{row['engine']}]: default median {d['median']} "
+              f"events -> earliest {e['median']} "
+              f"({row['matches']} matches, results "
+              f"{'equal' if row['results_equal'] else 'DIFFER'})")
+        if not row["results_equal"]:
+            failures += 1
+            print(f"FAIL: earliest emission changes the result set of "
+                  f"{row['query']!r}", file=sys.stderr)
+
+    summary = payload["summary"]
+    if set(payload["queries"]) != set(PREDICATE_QIDS):
+        failures += 1
+        print(f"FAIL: benchmark covered {sorted(payload['queries'])}, "
+              f"expected {sorted(PREDICATE_QIDS)}", file=sys.stderr)
+    if not summary["default_median_event_lag"]:
+        failures += 1
+        print("FAIL: default-mode median decision lag is zero — the corpus "
+              "does not exercise candidate buffering, so the gate is vacuous",
+              file=sys.stderr)
+    elif summary["median_lag_ratio"] > LATENCY_TARGET_RATIO:
+        failures += 1
+        print(f"FAIL: earliest median lag is "
+              f"{summary['median_lag_ratio']:.2%} of default "
+              f"(gate: {LATENCY_TARGET_RATIO:.0%})", file=sys.stderr)
+
+    # The artifact must round-trip: a malformed report would poison the
+    # recorded trajectory.
+    with open(REPORT, encoding="utf-8") as handle:
+        recorded = json.load(handle)
+    if recorded.get("summary", {}).get("target_met") is not True:
+        failures += 1
+        print("FAIL: recorded BENCH_latency.json summary does not meet the "
+              "latency target", file=sys.stderr)
+
+    print(f"  pooled median lag: default "
+          f"{summary['default_median_event_lag']} events -> earliest "
+          f"{summary['earliest_median_event_lag']} "
+          f"(ratio {summary['median_lag_ratio']}, "
+          f"target <= {LATENCY_TARGET_RATIO})")
+    print(f"wrote {REPORT}")
+    if failures:
+        return 1
+    print("latency smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

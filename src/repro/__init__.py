@@ -51,7 +51,7 @@ from repro.errors import (
 from repro.stream.recovery import RecoveryPolicy, ResourceLimits, StreamDiagnostic
 from repro.xpath.querytree import QueryTree, compile_query
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "CheckpointError",

@@ -1,0 +1,232 @@
+"""Decision-lag benchmark: how long results wait before emission.
+
+TwigM holds a confirmed candidate until the end tags that settle its
+predicate flags; the *decision lag* of a result is the stream distance
+(events and approximate bytes) between the first event at which the
+result is provable and the event at which it is actually emitted.  This
+benchmark measures that distribution over the XMark predicate queries
+(the path-class queries already emit at the return node's start tag and
+have no lag to measure) in both emission modes:
+
+* **default** — paper timing, instrumented with a
+  :class:`~repro.latency.DecisionLagProbe` (measurement only; the
+  emission points are unchanged);
+* **earliest** — ``emission="earliest"``: each candidate flushes at its
+  earliest-provable event, so the measured lag collapses to ~0.
+
+Every query also cross-checks result-*set* equality between the modes,
+so the benchmark doubles as an equivalence smoke.  The headline summary
+is the ratio of pooled median event lags (earliest / default) against
+the ``LATENCY_TARGET_RATIO`` acceptance bar, gated by
+``ci/latency_smoke.py``.
+
+Run it from the repo root::
+
+    PYTHONPATH=src python -m repro.bench.latency --output BENCH_latency.json
+
+``--quick`` (tiny corpus) is the CI configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.bench.corpora import DEFAULT_PROFILE, benchmark_corpus
+from repro.bench.queries import XMARK_QUERIES
+from repro.core.processor import select_engine_class
+from repro.core.results import CollectingSink
+from repro.latency import DecisionLagProbe, LatencyClock
+from repro.stream.events import Characters, EndElement, StartElement
+from repro.xpath.querytree import compile_query
+
+#: Acceptance bar: pooled median event lag under earliest emission must
+#: be at most this fraction of the default mode's.
+LATENCY_TARGET_RATIO = 0.10
+
+#: The XMark queries with predicates — the ones whose machines buffer
+#: candidates and therefore have a decision lag worth measuring.
+PREDICATE_QIDS = ("XM1", "XM2", "XM3", "XM4", "XM7", "XM8", "XM9", "XM10")
+
+
+def _event_size(event) -> int:
+    """Approximate serialized size of one event (same estimate as the
+    stats runner's lag mode — coarse but mode-independent)."""
+    cls = event.__class__
+    if cls is StartElement:
+        size = len(event.tag) + 2
+        for key, value in event.attributes.items():
+            size += len(key) + len(value) + 4
+        return size
+    if cls is EndElement:
+        return len(event.tag) + 3
+    return len(event.text)
+
+
+def _drive(query: str, events: list, emission: str) -> tuple[list[int], DecisionLagProbe]:
+    """One measured pass: returns (sorted result ids, probe with lags)."""
+    tree = compile_query(query)
+    engine_class = select_engine_class(tree)
+    clock = LatencyClock()
+    probe = DecisionLagProbe(clock)
+    sink = probe.wrap_sink(CollectingSink())
+    kwargs = {"lag_probe": probe}
+    if emission != "default":
+        kwargs["emission"] = emission
+    engine = engine_class(tree, sink=sink, **kwargs)
+    start = engine.start_element
+    end = engine.end_element
+    chars = engine.characters
+    for event in events:
+        clock.advance(1, _event_size(event))
+        cls = event.__class__
+        if cls is StartElement:
+            start(event.tag, event.level, event.node_id, event.attributes)
+        elif cls is EndElement:
+            end(event.tag, event.level)
+        else:
+            chars(event.text, event.level)
+    return sorted(sink._inner.results), probe
+
+
+def _percentile(sorted_values: list, fraction: float) -> int:
+    """Nearest-rank percentile of a pre-sorted sample (0 when empty)."""
+    if not sorted_values:
+        return 0
+    rank = max(1, round(fraction * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+def _lag_stats(lags: list) -> dict:
+    ordered = sorted(lags)
+    count = len(ordered)
+    return {
+        "count": count,
+        "median": _percentile(ordered, 0.5),
+        "p90": _percentile(ordered, 0.9),
+        "p99": _percentile(ordered, 0.99),
+        "max": ordered[-1] if ordered else 0,
+        "mean": round(sum(ordered) / count, 2) if count else 0,
+    }
+
+
+def run_benchmark(profile: str = DEFAULT_PROFILE) -> dict:
+    """Run every predicate query in both modes; the BENCH payload."""
+    corpus = benchmark_corpus(profile)
+    events = list(corpus.events())
+    payload: dict = {
+        "benchmark": "latency",
+        "profile": profile,
+        "target_ratio": LATENCY_TARGET_RATIO,
+        "corpus": {
+            "name": corpus.name,
+            "bytes": corpus.size_bytes(),
+            "events": len(events),
+        },
+        "queries": {},
+    }
+    specs = {spec.qid: spec for spec in XMARK_QUERIES}
+    pooled_default: list[int] = []
+    pooled_earliest: list[int] = []
+    all_equal = True
+    for qid in PREDICATE_QIDS:
+        spec = specs[qid]
+        default_ids, default_probe = _drive(spec.xpath, events, "default")
+        earliest_ids, earliest_probe = _drive(spec.xpath, events, "earliest")
+        equal = default_ids == earliest_ids
+        all_equal = all_equal and equal
+        pooled_default.extend(default_probe.event_lags())
+        pooled_earliest.extend(earliest_probe.event_lags())
+        payload["queries"][qid] = {
+            "query": spec.xpath,
+            "engine": select_engine_class(compile_query(spec.xpath)).machine_name,
+            "matches": len(default_ids),
+            "results_equal": equal,
+            "default": {
+                "event_lag": _lag_stats(default_probe.event_lags()),
+                "byte_lag": _lag_stats(default_probe.byte_lags()),
+            },
+            "earliest": {
+                "event_lag": _lag_stats(earliest_probe.event_lags()),
+                "byte_lag": _lag_stats(earliest_probe.byte_lags()),
+            },
+        }
+    default_median = _percentile(sorted(pooled_default), 0.5)
+    earliest_median = _percentile(sorted(pooled_earliest), 0.5)
+    ratio = (earliest_median / default_median) if default_median else None
+    payload["summary"] = {
+        "queries": len(payload["queries"]),
+        "results": len(pooled_default),
+        "all_results_equal": all_equal,
+        "default_median_event_lag": default_median,
+        "earliest_median_event_lag": earliest_median,
+        "median_lag_ratio": round(ratio, 4) if ratio is not None else None,
+        "target_ratio": LATENCY_TARGET_RATIO,
+        "target_met": bool(
+            all_equal
+            and default_median
+            and ratio is not None
+            and ratio <= LATENCY_TARGET_RATIO
+        ),
+    }
+    return payload
+
+
+def write_report(payload: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def render(payload: dict) -> str:
+    lines = [
+        f"corpus {payload['corpus']['name']}: "
+        f"{payload['corpus']['bytes'] / 1e6:.2f} MB, "
+        f"{payload['corpus']['events']} events"
+    ]
+    for qid, row in payload["queries"].items():
+        d = row["default"]["event_lag"]
+        e = row["earliest"]["event_lag"]
+        lines.append(
+            f"  {qid} [{row['engine']}] {row['query']}\n"
+            f"      default  median {d['median']:>6} events  "
+            f"p90 {d['p90']:>6}  p99 {d['p99']:>6}  ({row['matches']} matches)\n"
+            f"      earliest median {e['median']:>6} events  "
+            f"p90 {e['p90']:>6}  p99 {e['p99']:>6}  "
+            f"(results {'equal' if row['results_equal'] else 'DIFFER'})"
+        )
+    summary = payload["summary"]
+    lines.append(
+        f"pooled median event lag: default {summary['default_median_event_lag']}"
+        f" -> earliest {summary['earliest_median_event_lag']} "
+        f"(ratio {summary['median_lag_ratio']}, "
+        f"target <= {summary['target_ratio']}: "
+        f"{'met' if summary['target_met'] else 'NOT MET'})"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.latency",
+        description="Decision-lag benchmark: default vs earliest emission.",
+    )
+    parser.add_argument("--profile", default=DEFAULT_PROFILE)
+    parser.add_argument("--output", default="BENCH_latency.json")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="tiny corpus (the CI configuration)",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.profile = "tiny"
+    payload = run_benchmark(profile=args.profile)
+    write_report(payload, args.output)
+    print(render(payload))
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -224,8 +224,17 @@ class CompiledPathM(_GeneratedDispatch, PathM):
 class CompiledBranchM(_GeneratedDispatch, BranchM):
     """BranchM with generated per-tag slot-transition functions."""
 
-    def __init__(self, query, sink=None, limits=None, *, metrics=None):
-        super().__init__(query, sink=sink, limits=limits)
+    def __init__(self, query, sink=None, limits=None, *, metrics=None,
+                 emission="default", lag_probe=None):
+        super().__init__(query, sink=sink, limits=limits,
+                         emission=emission, lag_probe=lag_probe)
+        if self._detect:
+            # See CompiledTwigM: earliest mode / lag probing uses the
+            # interpreted transitions under the compiled class identity.
+            self._codegen_count = 0
+            self.start_element = BranchM.start_element.__get__(self)
+            self.end_element = BranchM.end_element.__get__(self)
+            return
         self._generate()
         if metrics is not None:
             from repro.compile.metrics import compile_publisher
@@ -364,13 +373,25 @@ class CompiledTwigM(_GeneratedDispatch, TwigM):
     """
 
     def __init__(self, query, sink=None, tracker=None, eager=None,
-                 limits=None, *, metrics=None):
+                 limits=None, *, metrics=None, emission="default",
+                 lag_probe=None):
         if tracker is not None:
             raise ValueError(
                 "CompiledTwigM does not support candidate trackers; "
                 "use the interpreted TwigM"
             )
-        super().__init__(query, sink=sink, eager=eager, limits=limits)
+        super().__init__(query, sink=sink, eager=eager, limits=limits,
+                         emission=emission, lag_probe=lag_probe)
+        if self._detect:
+            # The generated straight-line functions fold away the
+            # per-entry bookkeeping the provability analysis reads;
+            # earliest mode (and lag probing) falls back to the
+            # interpreted transitions.  Class identity, snapshots and
+            # ``machine_name`` are unchanged.
+            self._codegen_count = 0
+            self.start_element = TwigM.start_element.__get__(self)
+            self.end_element = TwigM.end_element.__get__(self)
+            return
         self._generate()
         if metrics is not None:
             from repro.compile.metrics import compile_publisher

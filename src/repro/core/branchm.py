@@ -38,19 +38,24 @@ from repro.xpath.querytree import QueryTree, compile_query
 class _Slot:
     """The (L, C, B) state of one BranchM machine node."""
 
-    __slots__ = ("level", "flags", "candidates", "text_parts")
+    __slots__ = ("level", "flags", "candidates", "text_parts", "stable")
 
     def __init__(self) -> None:
         self.level = -1
         self.flags = 0
         self.candidates: set[int] | None = None
         self.text_parts: list[str] | None = None
+        # Earliest-emission bookkeeping: the occupying element's branch
+        # match is complete and value-test-free, so its condition
+        # outcome can no longer change (recomputed, never snapshotted).
+        self.stable = False
 
     def reset(self) -> None:
         self.level = -1
         self.flags = 0
         self.candidates = None
         self.text_parts = None
+        self.stable = False
 
 
 class BranchM:
@@ -69,6 +74,9 @@ class BranchM:
         query: "str | QueryTree | Machine",
         sink: ResultSink | None = None,
         limits: ResourceLimits | None = None,
+        *,
+        emission: str = "default",
+        lag_probe=None,
     ):
         if isinstance(query, Machine):
             self.machine = query
@@ -104,6 +112,27 @@ class BranchM:
             tag: self._compile_plan(nodes)
             for tag, nodes in self.machine.dispatch.items()
         }
+        if emission not in ("default", "earliest"):
+            raise ValueError(
+                f"emission must be 'default' or 'earliest', got {emission!r}"
+            )
+        self.emission = emission
+        self._earliest = emission == "earliest"
+        self._lag_probe = lag_probe
+        self._detect = self._earliest or lag_probe is not None
+        self._trunk_dirty = False
+        # The root → return-node chain; with child-only axes every
+        # occupied trunk slot sits at its fixed level and its parent
+        # slot necessarily holds the element's parent, so provability
+        # is just "stable all the way up".
+        trunk = []
+        node = self.machine.return_node
+        while node is not None:
+            trunk.append(node)
+            node = node.parent
+        trunk.reverse()
+        self._trunk = [(n, self._slots[id(n)]) for n in trunk]
+        self._trunk_ids = {id(n) for n in trunk}
 
     def _compile_plan(self, nodes) -> list:
         return [
@@ -133,6 +162,7 @@ class BranchM:
         self._candidate_count = 0
         self._event_count = 0
         self._open_value_slots = 0
+        self._trunk_dirty = False
 
     # -- checkpointing -----------------------------------------------------
 
@@ -169,11 +199,23 @@ class BranchM:
             slot.flags = flags
             slot.candidates = set(candidates) if candidates else None
             slot.text_parts = list(text_parts) if text_parts is not None else None
+            slot.stable = False
         self._candidate_count = state.get("candidate_count", 0)
         self._event_count = state.get("event_count", 0)
         self._open_value_slots = sum(
             1 for slot in self._value_slots if slot.text_parts is not None
         )
+        if self._detect:
+            # ``stable`` is recomputed from the captured flags (captures
+            # taken by any mode restore into any mode); the scheduled
+            # flush catches anything a default-mode capture left
+            # unemitted.
+            for node in self.machine.iter_nodes():
+                slot = self._slots[id(node)]
+                slot.stable = False
+                if slot.level != -1:
+                    self._note_stable(node, slot)
+            self._trunk_dirty = True
 
     # -- transitions -------------------------------------------------------
 
@@ -203,6 +245,7 @@ class BranchM:
             slot.level = level
             slot.flags = 0
             slot.candidates = None
+            slot.stable = False
             if node.value_tests:
                 if slot.text_parts is None:
                     self._open_value_slots += 1
@@ -210,6 +253,10 @@ class BranchM:
             if node.is_return:
                 slot.candidates = {node_id}
                 self._count_candidates(1)
+            if self._detect:
+                self._note_stable(node, slot)
+        if self._trunk_dirty:
+            self._flush_trunk()
 
     def characters(self, text: str, level: int | None = None) -> None:
         """Accumulate string-value data for value-tested nodes.
@@ -238,7 +285,7 @@ class BranchM:
             if satisfied:
                 if parent_slot is None:
                     if slot.candidates:
-                        self.sink.emit_all(sorted(slot.candidates))
+                        self._emit_ids(slot.candidates)
                 else:
                     # With child-only axes the parent slot necessarily
                     # holds this node's parent element.
@@ -251,11 +298,70 @@ class BranchM:
                             before = len(parent_slot.candidates)
                             parent_slot.candidates |= slot.candidates
                             self._count_candidates(len(parent_slot.candidates) - before)
+                    if self._detect:
+                        if not parent_slot.stable:
+                            self._note_stable(node.parent, parent_slot)
+                        elif slot.candidates:
+                            self._trunk_dirty = True
             if slot.candidates:
                 self._candidate_count -= len(slot.candidates)
             if slot.text_parts is not None:
                 self._open_value_slots -= 1
             slot.reset()
+        if self._trunk_dirty:
+            self._flush_trunk()
+
+    # -- earliest emission / decision-lag detection --------------------------
+    #
+    # Runs only when ``self._detect`` is set (earliest mode, or default
+    # mode with a lag probe attached); see :class:`repro.core.twigm.TwigM`
+    # for the shared soundness argument — BranchM is the stacks-of-depth-1
+    # specialisation, so "qualifying parent entries" degenerates to "the
+    # parent slot", pinned for as long as the child element is open.
+
+    def _emit_ids(self, candidates) -> None:
+        """Emit a candidate set (single override point for counting)."""
+        self.sink.emit_all(sorted(candidates))
+
+    def _note_stable(self, node: MachineNode, slot: _Slot) -> None:
+        """Mark a newly complete slot; set its β-flag on the parent now."""
+        if slot.stable or node.value_tests or slot.flags != node.complete_mask:
+            return
+        slot.stable = True
+        if id(node) in self._trunk_ids:
+            self._trunk_dirty = True
+        parent = node.parent
+        if parent is None:
+            return
+        parent_slot = self._slots[id(parent)]
+        if parent_slot.level == slot.level - node.edge_dist:
+            bit = 1 << node.child_index
+            if not parent_slot.flags & bit:
+                parent_slot.flags |= bit
+                self._note_stable(parent, parent_slot)
+
+    def _flush_trunk(self) -> None:
+        """Emit (or just mark, with only a probe) provable candidates.
+
+        An occupied trunk slot qualified against its parent slot at push
+        time and levels are fixed, so a candidate is provable exactly
+        when every trunk slot from the root down to its holder is
+        occupied and stable; the walk stops at the first that is not.
+        """
+        self._trunk_dirty = False
+        probe = self._lag_probe
+        earliest = self._earliest
+        for node, slot in self._trunk:
+            if slot.level == -1 or not slot.stable:
+                break
+            if not slot.candidates:
+                continue
+            if probe is not None:
+                probe.mark_provable(slot.candidates)
+            if earliest:
+                self._candidate_count -= len(slot.candidates)
+                self._emit_ids(slot.candidates)
+                slot.candidates = None
 
     # -- event-stream driving ------------------------------------------------
 

@@ -118,6 +118,29 @@ class CompiledCondition:
 
         return evaluate_condition(self.condition, leaf)
 
+    def stable(self, flags: int, attr_bits: int) -> bool:
+        """Is the condition *provably true already*, mid-element?
+
+        Three-valued evaluation where a set branch bit is ``True``, an
+        unset one unknown (a match may still arrive), attribute leaves
+        are final, and string values unknown until the end tag.  A
+        ``True`` verdict is permanent: branch bits only ever turn on,
+        and Kleene evaluation keeps a true formula true under any
+        completion of its unknowns — this is what makes earliest
+        emission sound (:mod:`repro.latency`).
+        """
+
+        def leaf(ref) -> "bool | None":
+            if isinstance(ref, ChildRef):
+                if flags & (1 << self._child_bits[id(ref.node)]):
+                    return True
+                return None  # a branch match may still arrive
+            if isinstance(ref, AttrRef):
+                return bool(attr_bits & (1 << self._attr_index[id(ref)]))
+            return None  # string values are final only at the end tag
+
+        return evaluate_condition_3v(self.condition, leaf) is True
+
 
 @dataclass(eq=False, slots=True)
 class MachineNode:

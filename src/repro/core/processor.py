@@ -157,6 +157,15 @@ class XPathStream:
         Optional override for the lazy DFA's materialised-state ceiling
         (default :data:`repro.compile.DEFAULT_STATE_CAP`); past it the
         engine falls back to interpreted PathM mid-stream.
+    emission:
+        ``"default"`` (the paper's buffering) or ``"earliest"`` — flush
+        each result at the first event where it is provable (same result
+        set, earlier and possibly reordered emissions; see
+        docs/LATENCY.md).  Predicate-free queries on PathM/DFA engines
+        already emit at the earliest point, so the mode is a no-op for
+        them.  Earliest-mode TwigM/BranchM under ``compiled=True`` run
+        the interpreted transitions (the provability analysis needs the
+        state the generated code folds away).
     """
 
     def __init__(
@@ -171,6 +180,7 @@ class XPathStream:
         metrics=None,
         compiled: bool = False,
         state_cap: int | None = None,
+        emission: str = "default",
     ):
         if isinstance(query, str):
             query = compile_query(query)
@@ -181,6 +191,11 @@ class XPathStream:
         self._metrics = metrics
         self._compiled = bool(compiled) or engine == "dfa"
         self._state_cap = state_cap
+        if emission not in ("default", "earliest"):
+            raise ValueError(
+                f"emission must be 'default' or 'earliest', got {emission!r}"
+            )
+        self._emission = emission
         if on_match is None:
             sink: ResultSink = CollectingSink()
         else:
@@ -189,23 +204,33 @@ class XPathStream:
             engine_class = select_engine_class(query)
         else:
             engine_class = _engine_class_by_name(engine)
+        # Path engines emit at the return node's start tag — already the
+        # earliest point — and take no emission parameter.
+        emission_kwargs = (
+            {"emission": emission}
+            if emission != "default"
+            and engine_class.machine_name in ("twigm", "branchm")
+            else {}
+        )
         if self._compiled:
             engine_class = select_compiled_engine_class(
                 engine_class, explicit=engine is not None
             )
-            kwargs = {"metrics": metrics}
+            kwargs = {"metrics": metrics, **emission_kwargs}
             if state_cap is not None and engine_class.machine_name == "dfa":
                 kwargs["state_cap"] = state_cap
             self.engine = engine_class(query, sink=sink, limits=limits, **kwargs)
         elif metrics is None:
-            self.engine = engine_class(query, sink=sink, limits=limits)
+            self.engine = engine_class(query, sink=sink, limits=limits,
+                                       **emission_kwargs)
         else:
             # Lazy import: the obs layer sits above core and is only
             # loaded when instrumentation is requested.
             from repro.obs.machines import OBS_ENGINES_BY_NAME
 
             obs_class = OBS_ENGINES_BY_NAME[engine_class.machine_name]
-            self.engine = obs_class(query, sink=sink, limits=limits, metrics=metrics)
+            self.engine = obs_class(query, sink=sink, limits=limits,
+                                    metrics=metrics, **emission_kwargs)
         self._sink = sink
         self._tokenizer: XmlTokenizer | None = None
         self._push_handler = None
@@ -393,6 +418,7 @@ class XPathStream:
             "query": self.query.source,
             "engine": self.engine_name,
             "compiled": self._compiled,
+            "emission": self._emission,
             "policy": self._policy.value,
             "limits": self._limits.to_dict() if self._limits is not None else None,
             "tokenizer": self._tokenizer.snapshot() if self._tokenizer is not None else None,
@@ -432,6 +458,7 @@ class XPathStream:
                 limits=ResourceLimits.from_dict(snapshot.get("limits")),
                 metrics=metrics,
                 compiled=bool(snapshot.get("compiled")),
+                emission=snapshot.get("emission", "default"),
             )
             stream.engine.restore_state(snapshot["machine"])
             stream._sink.restore_state(snapshot["sink"])

@@ -51,7 +51,7 @@ class StackEntry:
     """The paper's stack element ⟨L, B, C⟩ (+ text buffer for value tests
     and attribute-leaf bits for general boolean conditions)."""
 
-    __slots__ = ("level", "flags", "candidates", "text_parts", "attr_bits")
+    __slots__ = ("level", "flags", "candidates", "text_parts", "attr_bits", "stable")
 
     def __init__(self, level: int):
         self.level = level
@@ -59,6 +59,10 @@ class StackEntry:
         self.candidates: set[int] | None = None  # candidate set C, lazy
         self.text_parts: list[str] | None = None  # string-value buffer
         self.attr_bits = 0  # attribute-leaf outcomes (condition nodes)
+        # Earliest-emission bookkeeping: the entry's condition outcome is
+        # settled *and* true (monotone — never cleared while live).  Not
+        # snapshotted: it is a pure function of (flags, attr_bits).
+        self.stable = False
 
     def add_candidate(self, node_id: int) -> None:
         if self.candidates is None:
@@ -139,6 +143,17 @@ class TwigM:
         total ids held across all stack entries) and
         ``max_total_events``, raising
         :class:`~repro.errors.ResourceLimitError` when crossed.
+    emission:
+        ``"default"`` follows the paper (candidates buffer until their
+        predicates settle at end tags); ``"earliest"`` propagates
+        predicate satisfaction eagerly and flushes a candidate at the
+        first event where it is provable — same result *set*, earlier
+        emission points (see docs/LATENCY.md for the contract).
+    lag_probe:
+        Optional :class:`repro.latency.DecisionLagProbe`.  When set, the
+        machine runs the provability analysis even in default mode and
+        reports each candidate's earliest-provable point to the probe,
+        which measures the decision lag to actual emission.
 
     Use :meth:`run` for one-shot evaluation, or drive :meth:`start_element`
     / :meth:`characters` / :meth:`end_element` directly for push-style
@@ -156,6 +171,9 @@ class TwigM:
         tracker: "CandidateTracker | None" = None,
         eager: "bool | None" = None,
         limits: ResourceLimits | None = None,
+        *,
+        emission: str = "default",
+        lag_probe=None,
     ):
         if isinstance(query, Machine):
             self.machine = query
@@ -199,6 +217,30 @@ class TwigM:
             )
         else:
             self._eager = eager
+        if emission not in ("default", "earliest"):
+            raise ValueError(
+                f"emission must be 'default' or 'earliest', got {emission!r}"
+            )
+        self.emission = emission
+        self._earliest = emission == "earliest"
+        self._lag_probe = lag_probe
+        # Provability analysis runs in earliest mode, and in default mode
+        # when a lag probe wants the earliest-provable points measured.
+        self._detect = self._earliest or lag_probe is not None
+        # One flush per event at most; only detection ever sets this.
+        self._trunk_dirty = False
+        # The trunk: the root → return-node chain, top-down.  Candidates
+        # only ever live on trunk entries (created at the return node,
+        # uploaded along its ancestor chain), so provability — and
+        # flushing — walks exactly this list.
+        trunk: list[MachineNode] = []
+        node = self._return
+        while node is not None:
+            trunk.append(node)
+            node = node.parent
+        trunk.reverse()
+        self._trunk = [(n, self._stacks[id(n)]) for n in trunk]
+        self._trunk_ids = {id(n) for n in trunk}
 
     def _compile_plan(self, nodes) -> list:
         """Bind dispatch nodes to their runtime stacks, once."""
@@ -253,6 +295,7 @@ class TwigM:
         self._candidate_count = 0
         self._event_count = 0
         self._open_value_entries = 0
+        self._trunk_dirty = False
 
     # -- checkpointing ---------------------------------------------------
 
@@ -309,6 +352,17 @@ class TwigM:
             for entry in stack
             if entry.text_parts is not None
         )
+        if self._detect:
+            # ``stable`` is not snapshotted — it is recomputed from the
+            # captured flag words, so captures taken by any mode restore
+            # into any mode.  Re-running the eager cascade also restores
+            # the "stable ⇒ flags propagated" invariant for captures
+            # taken without detection, and the scheduled flush catches
+            # anything such a capture left unemitted.
+            for node in self.machine.iter_nodes():
+                for entry in self._stacks[id(node)]:
+                    self._note_stable(node, entry)
+            self._trunk_dirty = True
 
     # -- transition functions --------------------------------------------
 
@@ -354,6 +408,13 @@ class TwigM:
                 if self._tracker is not None:
                     self._tracker.created(node_id)
             stack.append(entry)
+            if self._detect:
+                # Entries with no pending branch/value unknowns are
+                # stable at creation (e.g. predicate-free trunk nodes,
+                # attribute-only conditions already decided).
+                self._note_stable(node, entry)
+        if self._trunk_dirty:
+            self._flush_trunk()
 
     def _count_candidates(self, added: int) -> None:
         """Track buffered candidate ids; enforce the configured bound."""
@@ -435,21 +496,17 @@ class TwigM:
                 # entry is already a solution (its prefix path holds by
                 # the push invariant) — emit now, skip candidate uploads.
                 if entry.candidates:
-                    self.sink.emit_all(sorted(entry.candidates))
-                    if tracker is not None:
-                        tracker.emitted(entry.candidates)
-                        tracker.released(entry.candidates)
+                    self._emit_ids(entry.candidates)
                 continue
             if node.parent is None:
                 if entry.candidates:
-                    self.sink.emit_all(sorted(entry.candidates))
-                    if tracker is not None:
-                        tracker.emitted(entry.candidates)
-                        tracker.released(entry.candidates)
+                    self._emit_ids(entry.candidates)
                 continue
             self._propagate(node, entry, level, parent_stack)
             if tracker is not None and entry.candidates:
                 tracker.released(entry.candidates)
+        if self._trunk_dirty:
+            self._flush_trunk()
 
     def _propagate(
         self,
@@ -460,6 +517,7 @@ class TwigM:
     ) -> None:
         """Set β(node) and upload candidates on every qualifying parent entry."""
         bit = 1 << node.child_index
+        detect = self._detect
         if node.edge_op == EDGE_EQ:
             target = level - node.edge_dist
             # Stack levels are strictly increasing: at most one entry at
@@ -468,6 +526,8 @@ class TwigM:
                 if parent_entry.level == target:
                     parent_entry.flags |= bit
                     self._upload(parent_entry, entry)
+                    if detect:
+                        self._after_propagate(node.parent, parent_entry, entry)
                     break
                 if parent_entry.level < target:
                     break
@@ -479,6 +539,8 @@ class TwigM:
                     break
                 parent_entry.flags |= bit
                 self._upload(parent_entry, entry)
+                if detect:
+                    self._after_propagate(node.parent, parent_entry, entry)
 
     def _upload(self, parent_entry: StackEntry, entry: StackEntry) -> None:
         """Candidate upload, reporting newly-retained ids to the tracker."""
@@ -493,6 +555,132 @@ class TwigM:
         self._count_candidates(parent_entry.upload_candidates(entry))
         for node_id in added:
             self._tracker.retained(node_id)
+
+    # -- earliest emission / decision-lag detection ------------------------
+    #
+    # Everything below only runs when ``self._detect`` is set (earliest
+    # mode, or default mode with a lag probe attached); the default hot
+    # path pays one boolean test per transition.
+
+    def _emit_ids(self, candidates) -> None:
+        """Emit a candidate set, reporting to the tracker.
+
+        Shared by the pop-time paths and the earliest flush so the
+        instrumented subclass can count emissions in one place.
+        """
+        self.sink.emit_all(sorted(candidates))
+        tracker = self._tracker
+        if tracker is not None:
+            tracker.emitted(candidates)
+            tracker.released(candidates)
+
+    @staticmethod
+    def _entry_stable(node: MachineNode, entry: StackEntry) -> bool:
+        """Condition outcome settled-and-true with the element still open.
+
+        Conjunctive nodes: all child flags present and no value tests
+        (string values are final only at the end tag).  General boolean
+        conditions delegate to the monotone three-valued check.
+        """
+        condition = node.compiled_condition
+        if condition is None:
+            return not node.value_tests and entry.flags == node.complete_mask
+        return condition.stable(entry.flags, entry.attr_bits)
+
+    def _note_stable(self, node: MachineNode, entry: StackEntry) -> None:
+        """Mark a newly stable entry; propagate its β-flag eagerly.
+
+        Sound because the set of qualifying parent entries is identical
+        now and at this entry's end tag: any parent entry pushed later
+        sits at a deeper level (it would be a descendant), and any
+        qualifying shallower entry is an open ancestor that cannot close
+        before this element does.  Stability means δe *will* find the
+        entry satisfied, so the flag write is merely brought forward —
+        candidate uploads still happen at the pop.
+        """
+        if entry.stable or not self._entry_stable(node, entry):
+            return
+        entry.stable = True
+        if id(node) in self._trunk_ids:
+            self._trunk_dirty = True
+        parent = node.parent
+        if parent is None:
+            return
+        bit = 1 << node.child_index
+        parent_stack = self._stacks[id(parent)]
+        level = entry.level
+        if node.edge_op == EDGE_EQ:
+            target = level - node.edge_dist
+            for parent_entry in reversed(parent_stack):
+                if parent_entry.level == target:
+                    if not parent_entry.flags & bit:
+                        parent_entry.flags |= bit
+                        self._note_stable(parent, parent_entry)
+                    break
+                if parent_entry.level < target:
+                    break
+        else:
+            threshold = level - node.edge_dist
+            for parent_entry in parent_stack:
+                if parent_entry.level > threshold:
+                    break
+                if not parent_entry.flags & bit:
+                    parent_entry.flags |= bit
+                    self._note_stable(parent, parent_entry)
+
+    def _after_propagate(self, parent: MachineNode, parent_entry: StackEntry, entry: StackEntry) -> None:
+        """Detection hook for δe's flag-set/upload on one parent entry."""
+        if not parent_entry.stable:
+            self._note_stable(parent, parent_entry)
+        elif entry.candidates:
+            # Candidates just uploaded into an already-provable entry
+            # are provable right now — schedule a flush.
+            self._trunk_dirty = True
+
+    def _flush_trunk(self) -> None:
+        """Emit (or, with only a probe, mark) every provable candidate.
+
+        Walks the trunk top-down computing the provable entries per
+        node: stable, and parent-edge-qualified against some provable
+        parent entry (root entries qualified at push by construction).
+        In earliest mode provable candidates are emitted and purged from
+        the emitting entry; copies held by other entries (``//`` uploads
+        fan out) are deduplicated by the sink, exactly as duplicate
+        root-match emissions are in default mode.
+        """
+        self._trunk_dirty = False
+        probe = self._lag_probe
+        earliest = self._earliest
+        parent_provable: "list[StackEntry] | None" = None  # None: document root
+        for node, stack in self._trunk:
+            if parent_provable is None:
+                provable = [entry for entry in stack if entry.stable]
+            elif not parent_provable:
+                provable = []
+            elif node.edge_op == EDGE_EQ:
+                targets = {entry.level for entry in parent_provable}
+                provable = [
+                    entry
+                    for entry in stack
+                    if entry.stable and entry.level - node.edge_dist in targets
+                ]
+            else:
+                floor = parent_provable[0].level + node.edge_dist
+                provable = [
+                    entry for entry in stack if entry.stable and entry.level >= floor
+                ]
+            for entry in provable:
+                if not entry.candidates:
+                    continue
+                if probe is not None:
+                    probe.mark_provable(entry.candidates)
+                if earliest:
+                    self._candidate_count -= len(entry.candidates)
+                    self._emit_ids(entry.candidates)
+                    entry.candidates = None
+            if not provable:
+                break  # no chain can reach deeper trunk nodes
+            parent_provable = provable
 
     # -- event-stream driving ---------------------------------------------
 

@@ -293,6 +293,8 @@ class MultiQueryEngine:
         on_match: "Callable[[int], None] | None" = None,
         limits: ResourceLimits | None = None,
         tracker=None,
+        emission: str = "default",
+        lag_probe=None,
     ) -> Registration:
         """Register a standing query, possibly mid-stream.
 
@@ -309,6 +311,12 @@ class MultiQueryEngine:
         A query added mid-stream starts cold: it evaluates the remainder
         of the stream exactly as a fresh :class:`XPathStream` started at
         this event boundary would, and never shares a warm machine.
+
+        ``emission="earliest"`` runs the query's machine in
+        earliest-emission mode (same result set, earlier delivery — see
+        docs/LATENCY.md); mixed-mode engines are fine, the mode is part
+        of the unit-sharing key.  ``lag_probe`` attaches a
+        :class:`repro.latency.DecisionLagProbe` to a dedicated machine.
         """
         sink = self._make_sink(name, on_match)
         registration, created = self._registry.add(
@@ -320,6 +328,8 @@ class MultiQueryEngine:
             metrics=self._metrics,
             tracker=tracker,
             compiled=self._compiled,
+            emission=emission,
+            lag_probe=lag_probe,
         )
         if created is not None:
             self._router.add(created)
@@ -596,6 +606,7 @@ class MultiQueryEngine:
                     ),
                     "callback": registration.callback,
                     "tracked": registration.tracked,
+                    "emission": registration.emission,
                 }
                 for registration in self._registry.registrations()
             ],
@@ -688,10 +699,12 @@ class MultiQueryEngine:
             limits = ResourceLimits.from_dict(first.get("limits"))
             tree = canonicalize(first["query"])
             tracked = bool(first.get("tracked", False))
+            emission = first.get("emission", "default")
             unit = EvalUnit(tree, limits, engine_name=unit_payload["engine"],
                             metrics=self._metrics,
                             tracker=trackers.get(members[0]) if tracked else None,
-                            compiled=self._compiled)
+                            compiled=self._compiled,
+                            emission=emission)
             unit.tracked = tracked
             unit.virgin = bool(unit_payload.get("virgin", False))
             for index, member in enumerate(members):
@@ -713,6 +726,7 @@ class MultiQueryEngine:
                         unit=unit,
                         callback=bool(payload["callback"]),
                         tracked=bool(payload.get("tracked", False)),
+                        emission=payload.get("emission", "default"),
                     ),
                     member == members[0],
                 )

@@ -66,7 +66,7 @@ class EvalUnit:
     """
 
     __slots__ = (
-        "tree", "limits", "sink", "engine",
+        "tree", "limits", "sink", "engine", "emission",
         "interest", "wants_all", "wants_text", "routable", "virgin", "tracked",
     )
 
@@ -78,6 +78,8 @@ class EvalUnit:
         metrics=None,
         tracker=None,
         compiled: bool = False,
+        emission: str = "default",
+        lag_probe=None,
     ):
         from repro.core.processor import (
             _engine_class_by_name,
@@ -88,6 +90,7 @@ class EvalUnit:
 
         self.tree = tree
         self.limits = limits
+        self.emission = emission
         self.sink = MultiplexSink()
         if tracker is not None:
             # Candidate-lifetime tracking is a TwigM capability; fragment
@@ -104,20 +107,31 @@ class EvalUnit:
                 engine_class, engine_name is not None
             )
         kwargs = {} if tracker is None else {"tracker": tracker}
+        engine_sink = self.sink
+        if engine_class.machine_name in ("twigm", "branchm"):
+            # Path engines already emit at the earliest point (the
+            # return node's start tag) and take no emission parameter.
+            if emission != "default":
+                kwargs["emission"] = emission
+            if lag_probe is not None:
+                kwargs["lag_probe"] = lag_probe
+                # Emissions flow through the probe so it can pair each
+                # result's provable point with its emission point.
+                engine_sink = lag_probe.wrap_sink(self.sink)
         if compiled:
             # Compiled engines carry their own instrumentation hooks
             # (the ``repro_compile_*`` families) instead of the generic
             # observed wrappers.
-            self.engine = engine_class(tree, sink=self.sink, limits=limits,
+            self.engine = engine_class(tree, sink=engine_sink, limits=limits,
                                        metrics=metrics, **kwargs)
         elif metrics is None:
-            self.engine = engine_class(tree, sink=self.sink, limits=limits,
+            self.engine = engine_class(tree, sink=engine_sink, limits=limits,
                                        **kwargs)
         else:
             from repro.obs.machines import OBS_ENGINES_BY_NAME
 
             obs_class = OBS_ENGINES_BY_NAME[engine_class.machine_name]
-            self.engine = obs_class(tree, sink=self.sink, limits=limits,
+            self.engine = obs_class(tree, sink=engine_sink, limits=limits,
                                     metrics=metrics, **kwargs)
         self.interest, self.wants_all, self.wants_text = machine_alphabet(
             self.engine.machine
@@ -170,6 +184,9 @@ class Registration:
     #: True when the unit's machine runs with a candidate tracker
     #: (fragment capture); recorded so restore can re-attach one.
     tracked: bool = False
+    #: The unit's emission mode ("default"/"earliest"); part of the
+    #: sharing key — mixed-mode queries never share a machine.
+    emission: str = "default"
 
 
 class QueryRegistry:
@@ -177,7 +194,8 @@ class QueryRegistry:
 
     def __init__(self) -> None:
         self._registrations: dict[str, Registration] = {}
-        self._units: dict[DedupKey, list[EvalUnit]] = {}
+        # Keyed by (structural dedup key, emission mode).
+        self._units: dict[tuple[DedupKey, str], list[EvalUnit]] = {}
 
     # -- introspection --------------------------------------------------
 
@@ -235,6 +253,8 @@ class QueryRegistry:
         metrics=None,
         tracker=None,
         compiled: bool = False,
+        emission: str = "default",
+        lag_probe=None,
     ) -> tuple[Registration, EvalUnit | None]:
         """Register ``name`` → ``query``; returns ``(registration, new_unit)``.
 
@@ -249,11 +269,13 @@ class QueryRegistry:
         """
         if name in self._registrations:
             raise ValueError(f"duplicate query name {name!r}")
-        if tracker is not None:
+        if tracker is not None or lag_probe is not None:
             share = False
         tree = canonicalize(query)
         source = tree.source if isinstance(query, QueryTree) else query
-        key = dedup_key(tree, limits)
+        # Emission mode joins the sharing key: a default-mode sharer must
+        # not receive a mixed-in earliest unit's early emissions.
+        key = (dedup_key(tree, limits), emission)
         unit: EvalUnit | None = None
         created: EvalUnit | None = None
         if share:
@@ -263,7 +285,8 @@ class QueryRegistry:
                     break
         if unit is None:
             unit = created = EvalUnit(tree, limits, metrics=metrics,
-                                      tracker=tracker, compiled=compiled)
+                                      tracker=tracker, compiled=compiled,
+                                      emission=emission, lag_probe=lag_probe)
             self._units.setdefault(key, []).append(unit)
         unit.sink.add(name, sink)
         registration = Registration(
@@ -275,6 +298,7 @@ class QueryRegistry:
             unit=unit,
             callback=callback,
             tracked=tracker is not None,
+            emission=emission,
         )
         self._registrations[name] = registration
         return registration, created
@@ -284,7 +308,8 @@ class QueryRegistry:
         if registration.name in self._registrations:
             raise ValueError(f"duplicate query name {registration.name!r}")
         if new_unit:
-            key = dedup_key(registration.tree, registration.limits)
+            key = (dedup_key(registration.tree, registration.limits),
+                   registration.emission)
             self._units.setdefault(key, []).append(registration.unit)
         self._registrations[registration.name] = registration
 
@@ -295,7 +320,8 @@ class QueryRegistry:
         unit = registration.unit
         unit.sink.remove(name)
         if not unit.sink.sinks:
-            key = dedup_key(registration.tree, registration.limits)
+            key = (dedup_key(registration.tree, registration.limits),
+                   registration.emission)
             peers = self._units.get(key, [])
             peers[:] = [peer for peer in peers if peer is not unit]
             if not peers and key in self._units:

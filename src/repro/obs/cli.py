@@ -67,6 +67,18 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="characters per streamed chunk (default: %(default)s)",
     )
+    parser.add_argument(
+        "--emission",
+        choices=("default", "earliest"),
+        default="default",
+        help="result-emission mode of the machines (see docs/LATENCY.md)",
+    )
+    parser.add_argument(
+        "--lag",
+        action="store_true",
+        help="measure per-result decision lag (populates the "
+        "repro_latency_* metric families; slower)",
+    )
     return parser
 
 
@@ -93,6 +105,8 @@ def main(argv: "list[str] | None" = None) -> int:
             source,
             policy=args.policy,
             chunk_size=args.chunk_size,
+            emission=args.emission,
+            lag=args.lag,
         )
     except ReproError as exc:
         print(f"twigm: {exc}", file=sys.stderr)

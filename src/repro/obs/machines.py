@@ -148,13 +148,19 @@ class ObsTwigM(_ObsMixin, TwigM):
     """
 
     def __init__(self, query, sink=None, tracker=None, eager=None,
-                 limits=None, metrics=None):
+                 limits=None, metrics=None, *, emission="default",
+                 lag_probe=None):
         super().__init__(query, sink=sink, tracker=tracker, eager=eager,
-                         limits=limits)
+                         limits=limits, emission=emission, lag_probe=lag_probe)
         self._init_obs(metrics)
 
     def _recount_live(self) -> int:
         return self.total_stack_entries()
+
+    def _emit_ids(self, candidates) -> None:
+        """Counted emission — also the earliest flush's emit path."""
+        self.counts.emitted += len(candidates)
+        super()._emit_ids(candidates)
 
     # -- instrumented transitions ------------------------------------------
 
@@ -200,6 +206,10 @@ class ObsTwigM(_ObsMixin, TwigM):
             self._live_entries += 1
             if self._live_entries > counts.peak_entries:
                 counts.peak_entries = self._live_entries
+            if self._detect:
+                self._note_stable(node, entry)
+        if self._trunk_dirty:
+            self._flush_trunk()
 
     def _counted_edge_exists(self, node: MachineNode, parent_stack, level: int) -> bool:
         counts = self.counts
@@ -257,28 +267,23 @@ class ObsTwigM(_ObsMixin, TwigM):
                 continue
             if node.is_return and self._eager:
                 if entry.candidates:
-                    counts.emitted += len(entry.candidates)
-                    self.sink.emit_all(sorted(entry.candidates))
-                    if tracker is not None:
-                        tracker.emitted(entry.candidates)
-                        tracker.released(entry.candidates)
+                    self._emit_ids(entry.candidates)
                 continue
             if node.parent is None:
                 if entry.candidates:
-                    counts.emitted += len(entry.candidates)
-                    self.sink.emit_all(sorted(entry.candidates))
-                    if tracker is not None:
-                        tracker.emitted(entry.candidates)
-                        tracker.released(entry.candidates)
+                    self._emit_ids(entry.candidates)
                 continue
             self._counted_propagate(node, entry, level, parent_stack)
             if tracker is not None and entry.candidates:
                 tracker.released(entry.candidates)
+        if self._trunk_dirty:
+            self._flush_trunk()
 
     def _counted_propagate(self, node: MachineNode, entry: StackEntry,
                            level: int, parent_stack) -> None:
         counts = self.counts
         bit = 1 << node.child_index
+        detect = self._detect
         if node.edge_op == EDGE_EQ:
             target = level - node.edge_dist
             for parent_entry in reversed(parent_stack):
@@ -288,6 +293,8 @@ class ObsTwigM(_ObsMixin, TwigM):
                         counts.uploads += 1
                     parent_entry.flags |= bit
                     self._upload(parent_entry, entry)
+                    if detect:
+                        self._after_propagate(node.parent, parent_entry, entry)
                     break
                 if parent_entry.level < target:
                     break
@@ -301,6 +308,8 @@ class ObsTwigM(_ObsMixin, TwigM):
                     counts.uploads += 1
                 parent_entry.flags |= bit
                 self._upload(parent_entry, entry)
+                if detect:
+                    self._after_propagate(node.parent, parent_entry, entry)
 
 
 class ObsPathM(_ObsMixin, PathM):
@@ -382,12 +391,19 @@ class ObsBranchM(_ObsMixin, BranchM):
     ``edge_check``.
     """
 
-    def __init__(self, query, sink=None, limits=None, metrics=None):
-        super().__init__(query, sink=sink, limits=limits)
+    def __init__(self, query, sink=None, limits=None, metrics=None, *,
+                 emission="default", lag_probe=None):
+        super().__init__(query, sink=sink, limits=limits,
+                         emission=emission, lag_probe=lag_probe)
         self._init_obs(metrics)
 
     def _recount_live(self) -> int:
         return sum(1 for slot in self._slots.values() if slot.level != -1)
+
+    def _emit_ids(self, candidates) -> None:
+        """Counted emission — also the earliest flush's emit path."""
+        self.counts.emitted += len(candidates)
+        super()._emit_ids(candidates)
 
     def start_element(self, tag, level, node_id, attributes=None):
         counts = self.counts
@@ -414,6 +430,7 @@ class ObsBranchM(_ObsMixin, BranchM):
             slot.level = level
             slot.flags = 0
             slot.candidates = None
+            slot.stable = False
             if node.value_tests:
                 if slot.text_parts is None:
                     self._open_value_slots += 1
@@ -426,6 +443,10 @@ class ObsBranchM(_ObsMixin, BranchM):
                 self._live_entries += 1
                 if self._live_entries > counts.peak_entries:
                     counts.peak_entries = self._live_entries
+            if self._detect:
+                self._note_stable(node, slot)
+        if self._trunk_dirty:
+            self._flush_trunk()
 
     def end_element(self, tag, level):
         counts = self.counts
@@ -443,8 +464,7 @@ class ObsBranchM(_ObsMixin, BranchM):
             if satisfied:
                 if parent_slot is None:
                     if slot.candidates:
-                        counts.emitted += len(slot.candidates)
-                        self.sink.emit_all(sorted(slot.candidates))
+                        self._emit_ids(slot.candidates)
                 else:
                     counts.flag_sets += 1
                     parent_slot.flags |= 1 << node.child_index
@@ -457,6 +477,11 @@ class ObsBranchM(_ObsMixin, BranchM):
                             before = len(parent_slot.candidates)
                             parent_slot.candidates |= slot.candidates
                             self._count_candidates(len(parent_slot.candidates) - before)
+                    if self._detect:
+                        if not parent_slot.stable:
+                            self._note_stable(node.parent, parent_slot)
+                        elif slot.candidates:
+                            self._trunk_dirty = True
             if slot.candidates:
                 self._candidate_count -= len(slot.candidates)
             if slot.text_parts is not None:
@@ -464,6 +489,8 @@ class ObsBranchM(_ObsMixin, BranchM):
             slot.reset()
             counts.pops += 1
             self._live_entries -= 1
+        if self._trunk_dirty:
+            self._flush_trunk()
 
 
 #: The instrumented counterpart of each production engine, by the

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from repro.multiq.engine import MultiQueryEngine
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
+from repro.stream.events import Characters, EndElement, StartElement
 from repro.stream.recovery import RecoveryPolicy, ResourceLimits
 from repro.stream.tokenizer import DEFAULT_CHUNK_SIZE, XmlTokenizer, iter_text_chunks
 
@@ -48,6 +49,29 @@ class StatsRun:
     results: dict = field(default_factory=dict)
     #: chunks streamed (also available as ``repro_stats_chunks_total``)
     chunks: int = 0
+    #: the decision-lag probe (``lag=True`` runs only); raw per-result
+    #: lags on ``lag_probe.lags``, aggregates in the registry's
+    #: ``repro_latency_*`` families
+    lag_probe: object = None
+
+
+def _event_size(event) -> int:
+    """Approximate serialized size of one modified-SAX event.
+
+    Start tags count the tag, brackets and attribute text; end tags add
+    the slash; character events count their text.  An estimate — the
+    byte-lag histograms trade exact byte accounting for zero coupling to
+    the tokenizer internals.
+    """
+    cls = event.__class__
+    if cls is StartElement:
+        size = len(event.tag) + 2
+        for key, value in event.attributes.items():
+            size += len(key) + len(value) + 4  # space, =, two quotes
+        return size
+    if cls is EndElement:
+        return len(event.tag) + 3
+    return len(event.text)
 
 
 def run_stats(
@@ -59,6 +83,8 @@ def run_stats(
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     registry: MetricsRegistry | None = None,
     tracer: Tracer | None = None,
+    emission: str = "default",
+    lag: bool = False,
 ) -> StatsRun:
     """Stream ``source`` through ``queries`` with full observability.
 
@@ -66,13 +92,30 @@ def run_stats(
     ``source`` is anything text-bearing (XML text, a path, a file
     object, text chunks).  A fresh registry/tracer is created unless one
     is passed in (pass your own to aggregate several runs).
+
+    ``emission`` selects the machines' result-emission mode
+    (``"default"``/``"earliest"``, see docs/LATENCY.md).  ``lag=True``
+    attaches a :class:`~repro.latency.DecisionLagProbe` to every TwigM/
+    BranchM query and populates the ``repro_latency_*`` families — the
+    per-event clock bookkeeping makes this pass slower, so it is opt-in.
+    Path-machine queries already emit at their earliest point and record
+    no lag samples.
     """
     if isinstance(queries, str):
         queries = {"query": queries}
     registry = registry if registry is not None else MetricsRegistry()
     tracer = tracer if tracer is not None else Tracer()
-    engine = MultiQueryEngine(queries, policy=policy, limits=limits,
+    lag_probe = None
+    clock = None
+    if lag:
+        from repro.latency import DecisionLagProbe, LatencyClock
+
+        clock = LatencyClock()
+        lag_probe = DecisionLagProbe(clock, registry=registry)
+    engine = MultiQueryEngine(policy=policy, limits=limits,
                               metrics=registry)
+    for name, query in queries.items():
+        engine.add_query(name, query, emission=emission, lag_probe=lag_probe)
     tokenizer = XmlTokenizer(
         policy=RecoveryPolicy.coerce(policy),
         limits=limits,
@@ -89,7 +132,22 @@ def run_stats(
     def dispatch(events) -> None:
         nonlocal last_dispatched, last_broadcast
         tracer.begin("dispatch", events=len(events))
-        engine.feed_events(events)
+        if clock is not None:
+            # Lag measurement needs the stream clock at the position of
+            # the event being processed, so feed one event at a time.
+            handler = engine.as_handler()
+            for event in events:
+                clock.advance(1, _event_size(event))
+                cls = event.__class__
+                if cls is StartElement:
+                    handler.start_element(event.tag, event.level,
+                                          event.node_id, event.attributes)
+                elif cls is EndElement:
+                    handler.end_element(event.tag, event.level)
+                else:
+                    handler.characters(event.text, event.level)
+        else:
+            engine.feed_events(events)
         stats = engine.dispatch_stats()
         tracer.end(
             dispatched=stats.machine_events_dispatched - last_dispatched,
@@ -122,4 +180,4 @@ def run_stats(
     results = engine.close()
     registry.tick()
     return StatsRun(registry=registry, tracer=tracer, results=results,
-                    chunks=chunks)
+                    chunks=chunks, lag_probe=lag_probe)

@@ -59,6 +59,7 @@ class PushPipeline:
         tracer=None,
         compiled: bool = False,
         state_cap: int | None = None,
+        emission: str = "default",
     ):
         self.stream = XPathStream(
             query,
@@ -70,6 +71,7 @@ class PushPipeline:
             metrics=metrics,
             compiled=compiled,
             state_cap=state_cap,
+            emission=emission,
         )
         self._policy = RecoveryPolicy.coerce(policy)
         self._on_diagnostic = on_diagnostic

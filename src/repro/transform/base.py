@@ -190,11 +190,17 @@ class StreamTransform(EventHandler):
         on_diagnostic=None,
         limits: ResourceLimits | None = None,
         metrics=None,
+        emission: str = "default",
     ):
         self._policy = RecoveryPolicy.coerce(policy)
         self._on_diagnostic = on_diagnostic
         self._limits = limits
         self._metrics = metrics
+        #: Emission mode of the match machines ("default"/"earliest").
+        #: Under ``earliest`` a candidate's *emit* verdict can arrive
+        #: while its subtree is still streaming in — subclasses defer
+        #: acting on a verdict until the candidate closes.
+        self._emission = emission
         self._engine = MultiQueryEngine(metrics=metrics)
         self._eh = None
         self._trackers: dict[str, _FragmentTracker] = {}
@@ -210,7 +216,8 @@ class StreamTransform(EventHandler):
         tracker = _FragmentTracker(name, self)
         self._trackers[name] = tracker
         self._engine.add_query(
-            name, query, on_match=_noop, limits=limits, tracker=tracker
+            name, query, on_match=_noop, limits=limits, tracker=tracker,
+            emission=self._emission,
         )
         return immediate_match(self._engine.registration(name).unit)
 

@@ -55,7 +55,7 @@ class _Record:
     """One open or undecided candidate subtree."""
 
     __slots__ = ("name", "node_id", "base_level", "next_id", "events",
-                 "writer", "parts", "open")
+                 "writer", "parts", "open", "verdict")
 
     def __init__(self, name: str, node_id: int, base_level: int):
         self.name = name
@@ -69,6 +69,11 @@ class _Record:
         #: Accumulated streamed text (when whole-fragment text is wanted).
         self.parts: list[str] | None = None
         self.open = True
+        #: Verdict ("emit"/"dead") that arrived while the subtree was
+        #: still streaming in (earliest-emission machines decide early);
+        #: settled — fragment emitted or dropped — when the record
+        #: closes, so early verdicts never truncate a fragment.
+        self.verdict: str | None = None
 
 
 class SubstreamExtractor(StreamTransform):
@@ -97,6 +102,12 @@ class SubstreamExtractor(StreamTransform):
     policy / on_diagnostic / limits / metrics:
         As in :class:`~repro.core.processor.XPathStream`; ``metrics``
         additionally publishes the ``repro_transform_*`` families.
+    emission:
+        ``"default"`` or ``"earliest"`` — forwarded to the match
+        machines (see docs/LATENCY.md).  Under ``earliest`` a buffered
+        candidate's verdict can settle before the enclosing root match
+        closes, so its fragment is released at its own end tag; the
+        fragment *text* is identical in both modes.
     """
 
     def __init__(
@@ -112,9 +123,10 @@ class SubstreamExtractor(StreamTransform):
         limits: ResourceLimits | None = None,
         query_limits: ResourceLimits | None = None,
         metrics=None,
+        emission: str = "default",
     ):
         super().__init__(policy=policy, on_diagnostic=on_diagnostic,
-                         limits=limits, metrics=metrics)
+                         limits=limits, metrics=metrics, emission=emission)
         self._on_fragment = on_fragment
         self._on_chunk = on_chunk
         self._on_events = on_fragment_events
@@ -217,10 +229,23 @@ class SubstreamExtractor(StreamTransform):
             record.open = False
             if record.writer is not None:
                 self._streaming.pop(record.name, None)
+            if record.verdict is not None:
+                # Early (earliest-emission) verdict, deferred until the
+                # subtree finished streaming: settle it now.
+                self._records.pop((record.name, record.node_id), None)
+                if record.verdict == "emit":
+                    self._emit_fragment(record)
         for kind, name, node_id in verdicts:
-            record = self._records.pop((name, node_id), None)
+            record = self._records.get((name, node_id))
             if record is None:  # pragma: no cover - defensive
                 continue
+            if record.open:
+                # The machine decided before the subtree closed (it runs
+                # ahead of the record bookkeeping under earliest mode);
+                # emitting now would truncate the fragment.
+                record.verdict = kind
+                continue
+            del self._records[(name, node_id)]
             if kind == "emit":
                 self._emit_fragment(record)
             # "dead": buffered events are simply dropped.
@@ -307,6 +332,7 @@ class SubstreamExtractor(StreamTransform):
                 "base_level": record.base_level,
                 "next_id": record.next_id,
                 "open": record.open,
+                "verdict": record.verdict,
                 "events": (pack_events(record.events)
                            if record.events is not None else None),
                 "writer": (record.writer.snapshot()
@@ -317,6 +343,7 @@ class SubstreamExtractor(StreamTransform):
         return {
             "version": TRANSFORM_SNAPSHOT_VERSION,
             "kind": "extract",
+            "emission": self._emission,
             "queries": {
                 name: (query.source if hasattr(query, "source") else query)
                 for name, query in self.queries.items()
@@ -366,6 +393,7 @@ class SubstreamExtractor(StreamTransform):
                 limits=limits,
                 query_limits=query_limits,
                 metrics=metrics,
+                emission=snapshot.get("emission", "default"),
             )
             extractor._restore_base(snapshot["base"],
                                     list(extractor.queries))
@@ -375,6 +403,7 @@ class SubstreamExtractor(StreamTransform):
                                  int(payload["base_level"]))
                 record.next_id = int(payload["next_id"])
                 record.open = bool(payload["open"])
+                record.verdict = payload.get("verdict")
                 if payload["events"] is not None:
                     record.events = unpack_events(payload["events"])
                 if payload["writer"] is not None:
